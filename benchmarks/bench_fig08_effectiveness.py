@@ -1,0 +1,177 @@
+"""Figure 8 — effectiveness of size-l OSs against (simulated) evaluators.
+
+Four panels: DBLP Author, DBLP Paper, TPC-H Customer, TPC-H Supplier —
+each plotting effectiveness (recall = precision, %) of the *optimal* size-l
+OS against l for the four ranking settings (G_A1-d1/d2/d3, G_A2-d1).
+
+Also covered here: the Section 6.1 in-text results (greedy-algorithm impact
+on effectiveness; the Google-Desktop static-snippet comparison).
+
+Expected shape (paper): G_A1-d1 and G_A1-d3 similar and dominant at
+l >= 10 (75-90% on DBLP); G_A1-d2 relatively strong at l = 5 on Author
+OSs; snippets recover ~0 gold tuples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import (
+    DBLP_JUDGE_CONFIG,
+    L_EFFECTIVENESS,
+    N_DBLP_JUDGES,
+    N_TPCH_JUDGES,
+    TPCH_JUDGE_CONFIG,
+    emit,
+    sample_subjects,
+)
+from repro.core.bottom_up import bottom_up_size_l
+from repro.core.dp import optimal_size_l
+from repro.core.top_path import top_path_size_l
+from repro.evaluation.effectiveness import (
+    effectiveness_experiment,
+    greedy_effectiveness_impact,
+)
+from repro.evaluation.evaluators import make_panel
+from repro.evaluation.reporting import pivot_table
+from repro.evaluation.snippet_baseline import snippet_overlap_experiment
+
+
+def _run_panel(
+    name: str,
+    engine,
+    settings,
+    rds_table: str,
+    n_judges: int,
+    n_subjects: int,
+    min_size: int,
+    benchmark,
+    judge_config=DBLP_JUDGE_CONFIG,
+) -> None:
+    subjects = sample_subjects(engine, rds_table, n_subjects, min_size)
+    trees = [engine.complete_os(rds_table, row_id) for row_id in subjects]
+    panel = make_panel(n_judges, settings["GA1-d1"], judge_config)
+
+    def experiment():
+        return effectiveness_experiment(
+            trees, settings, panel, L_EFFECTIVENESS, algorithm=optimal_size_l
+        )
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        name,
+        pivot_table(rows, index="l", columns="setting", value="effectiveness"),
+    )
+    for row in rows:
+        assert 0.0 <= row.effectiveness <= 100.0
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig8a_dblp_author(benchmark, dblp_engine_bench, dblp_settings) -> None:
+    _run_panel(
+        "fig08a_dblp_author",
+        dblp_engine_bench,
+        dblp_settings,
+        "author",
+        N_DBLP_JUDGES,
+        n_subjects=N_DBLP_JUDGES,
+        min_size=120,
+        benchmark=benchmark,
+    )
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig8b_dblp_paper(benchmark, dblp_engine_bench, dblp_settings) -> None:
+    _run_panel(
+        "fig08b_dblp_paper",
+        dblp_engine_bench,
+        dblp_settings,
+        "paper",
+        N_DBLP_JUDGES,
+        n_subjects=N_DBLP_JUDGES,
+        min_size=40,
+        benchmark=benchmark,
+    )
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig8c_tpch_customer(benchmark, tpch_engine_bench, tpch_settings) -> None:
+    _run_panel(
+        "fig08c_tpch_customer",
+        tpch_engine_bench,
+        tpch_settings,
+        "customer",
+        N_TPCH_JUDGES,
+        n_subjects=N_TPCH_JUDGES,
+        min_size=80,
+        benchmark=benchmark,
+        judge_config=TPCH_JUDGE_CONFIG,
+    )
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig8d_tpch_supplier(benchmark, tpch_engine_bench, tpch_settings) -> None:
+    _run_panel(
+        "fig08d_tpch_supplier",
+        tpch_engine_bench,
+        tpch_settings,
+        "supplier",
+        N_TPCH_JUDGES,
+        n_subjects=max(3, N_TPCH_JUDGES - 1),
+        min_size=400,
+        benchmark=benchmark,
+        judge_config=TPCH_JUDGE_CONFIG,
+    )
+
+
+@pytest.mark.benchmark(group="fig08-intext")
+def test_fig8_greedy_impact(benchmark, dblp_engine_bench, dblp_settings) -> None:
+    """Section 6.1 in-text: Top-Path matches the optimal's effectiveness;
+    Bottom-Up loses a few percent."""
+    subjects = sample_subjects(dblp_engine_bench, "author", 4, min_size=120)
+    trees = [dblp_engine_bench.complete_os("author", r) for r in subjects]
+    panel = make_panel(N_DBLP_JUDGES, dblp_settings["GA1-d1"], DBLP_JUDGE_CONFIG)
+    algorithms = {
+        "optimal": optimal_size_l,
+        "top_path": top_path_size_l,
+        "bottom_up": bottom_up_size_l,
+    }
+
+    def experiment():
+        return greedy_effectiveness_impact(
+            trees, dblp_settings["GA1-d1"], panel, L_EFFECTIVENESS, algorithms
+        )
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "fig08_greedy_impact",
+        pivot_table(rows, index="l", columns="setting", value="effectiveness"),
+    )
+    by_key = {(r.setting, r.l): r.effectiveness for r in rows}
+    for l in L_EFFECTIVENESS:  # noqa: E741
+        # Top-Path should track the optimal closely (the paper: identical).
+        assert by_key[("top_path", l)] >= by_key[("optimal", l)] - 15.0
+        # Bottom-Up loses more; on our skewier synthetic data the loss at
+        # small l exceeds the paper's 2-10% (see EXPERIMENTS.md).
+        assert by_key[("bottom_up", l)] >= by_key[("optimal", l)] - 40.0
+
+
+@pytest.mark.benchmark(group="fig08-intext")
+def test_google_snippet_baseline(benchmark, dblp_engine_bench, dblp_settings) -> None:
+    """Section 6.1 comparative evaluation: static snippets recover ~0-1 of
+    the evaluators' size-5 tuples."""
+    subjects = sample_subjects(dblp_engine_bench, "author", 5, min_size=100)
+    trees = [dblp_engine_bench.complete_os("author", r) for r in subjects]
+    panel = make_panel(N_DBLP_JUDGES, dblp_settings["GA1-d1"], DBLP_JUDGE_CONFIG)
+
+    def experiment():
+        return snippet_overlap_experiment(trees, panel, l=5, k=3)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    mean_overlap = sum(r.overlap_tuples for r in rows) / len(rows)
+    emit(
+        "fig08_google_snippets",
+        f"static snippet vs gold size-5 OS, {len(rows)} (OS, judge) pairs\n"
+        f"mean overlapping tuples: {mean_overlap:.2f} (paper: ~0, exceptionally 1)",
+    )
+    assert mean_overlap <= 1.5

@@ -1,0 +1,144 @@
+"""Figure 9 — approximation quality of the greedy algorithms.
+
+Panels (a)-(e): quality (% of the DP optimum) against l for Bottom-Up and
+Update Top-Path-l, each on the complete OS and on the prelim-l OS, over
+sampled OSs per G_DS.  Panel (f): quality across the four ranking settings.
+
+Expected shape (paper): Top-Path >= Bottom-Up (by up to ~10%); prelim-l
+costs Bottom-Up ~nothing and Top-Path <= ~4%; Paper OSs near 100% for all
+methods (near-monotone); small OSs reach 100% once l approaches |OS|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import L_QUALITY, N_SAMPLE_OS, emit, mean_os_size, os_pairs, sample_subjects
+from repro.evaluation.quality import quality_experiment
+from repro.evaluation.reporting import pivot_table
+
+
+def _quality_panel(name: str, engine, rds_table: str, min_size: int, benchmark) -> None:
+    subjects = sample_subjects(engine, rds_table, N_SAMPLE_OS, min_size)
+    pairs = os_pairs(engine, rds_table, subjects, prelim_l=max(L_QUALITY))
+
+    def experiment():
+        return quality_experiment(pairs, L_QUALITY)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for row in rows:
+        assert row.quality <= 100.0 + 1e-6
+    tagged = [
+        {"l": r.l, "series": f"{r.method}[{r.source}]", "quality": r.quality}
+        for r in rows
+    ]
+    emit(
+        name,
+        f"Aver|OS| = {mean_os_size(pairs):.0f}\n"
+        + pivot_table(tagged, index="l", columns="series", value="quality"),
+    )
+
+    # The paper's headline orderings, checked on the averages across l.
+    mean_of = lambda m, s: sum(  # noqa: E731
+        r.quality for r in rows if r.method == m and r.source == s
+    ) / len(L_QUALITY)
+    assert mean_of("top_path", "complete") >= mean_of("bottom_up", "complete") - 2.0
+    assert mean_of("bottom_up", "prelim") >= mean_of("bottom_up", "complete") - 3.0
+    assert mean_of("top_path", "prelim") >= mean_of("top_path", "complete") - 10.0
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9a_dblp_author(benchmark, dblp_engine_bench) -> None:
+    _quality_panel("fig09a_dblp_author", dblp_engine_bench, "author", 150, benchmark)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9b_dblp_paper(benchmark, dblp_engine_bench) -> None:
+    _quality_panel("fig09b_dblp_paper", dblp_engine_bench, "paper", 40, benchmark)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9c_tpch_customer(benchmark, tpch_engine_bench) -> None:
+    _quality_panel("fig09c_tpch_customer", tpch_engine_bench, "customer", 80, benchmark)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9d_tpch_supplier(benchmark, tpch_engine_bench) -> None:
+    _quality_panel("fig09d_tpch_supplier", tpch_engine_bench, "supplier", 400, benchmark)
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9e_small_author_os(benchmark, dblp_engine_bench) -> None:
+    """Figure 9(e): a small Author OS (the paper's |OS| = 67) — all methods
+    hit 100% once l gets close to |OS|."""
+    engine = dblp_engine_bench
+    # Find an author whose OS is small (60-90 tuples).
+    chosen = None
+    scores = engine.store.array("author")
+    order = scores.argsort()[::-1]
+    for row_id in order:
+        size = engine.complete_os("author", int(row_id)).size
+        if 55 <= size <= 95:
+            chosen = int(row_id)
+            break
+    assert chosen is not None, "no small Author OS found at bench scale"
+    pairs = os_pairs(engine, "author", [chosen], prelim_l=max(L_QUALITY))
+
+    def experiment():
+        return quality_experiment(pairs, L_QUALITY)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    tagged = [
+        {"l": r.l, "series": f"{r.method}[{r.source}]", "quality": r.quality}
+        for r in rows
+    ]
+    emit(
+        "fig09e_small_author_os",
+        f"|OS| = {pairs[0][0].size}\n"
+        + pivot_table(tagged, index="l", columns="series", value="quality"),
+    )
+    # By l >= 50 (close to |OS|) every method should be ~optimal.
+    tail = [r for r in rows if r.l == max(L_QUALITY)]
+    for row in tail:
+        assert row.quality >= 95.0
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig9f_settings(benchmark, dblp_bench, dblp_settings) -> None:
+    """Figure 9(f): average Author-OS quality per ranking setting."""
+    from repro.core.engine import SizeLEngine
+
+    def experiment():
+        results = []
+        for setting_name, store in dblp_settings.items():
+            engine = SizeLEngine(
+                dblp_bench.db, {"author": dblp_bench.author_gds()}, store
+            )
+            subjects = sample_subjects(engine, "author", max(3, N_SAMPLE_OS // 2), 150)
+            pairs = os_pairs(engine, "author", subjects, prelim_l=30)
+            for row in quality_experiment(pairs, [10, 20, 30]):
+                results.append(
+                    {
+                        "setting": setting_name,
+                        "series": f"{row.method}[{row.source}]",
+                        "quality": row.quality,
+                        "l": row.l,
+                    }
+                )
+        return results
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    # Average over l per (setting, series).
+    merged: dict[tuple[str, str], list[float]] = {}
+    for row in rows:
+        merged.setdefault((row["setting"], row["series"]), []).append(row["quality"])
+    summary = [
+        {"setting": setting, "series": series, "quality": sum(v) / len(v)}
+        for (setting, series), v in merged.items()
+    ]
+    emit(
+        "fig09f_settings",
+        pivot_table(summary, index="setting", columns="series", value="quality"),
+    )
+    for row in summary:
+        assert row["quality"] >= 70.0

@@ -1,0 +1,166 @@
+"""Figure 10 — efficiency of the size-l algorithms.
+
+Panels (a)-(d): size-l computation time against l (generation excluded),
+for DP / Bottom-Up / Top-Path on complete and prelim-l OSs.
+Panel (e): scalability against |OS| at l = 10.
+Panel (f): cost breakdown — OS generation (data-graph vs database backend,
+with I/O accounting) plus size-l computation, and prelim-l OS sizes.
+
+Expected shape (paper): DP blows up with |OS| and l (the paper aborted it
+at 30 minutes; we skip it above a cell budget); Bottom-Up is consistently
+the fastest and gets *faster* with larger l on the complete OS (fewer
+de-heaps); prelim-l OSs are ~10-20% of the complete size and cut algorithm
+cost by several times; data-graph generation beats database generation by
+well over an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchlib import L_EFFICIENCY, N_SAMPLE_OS, emit, mean_os_size, os_pairs, sample_subjects
+from repro.evaluation.efficiency import (
+    breakdown_experiment,
+    efficiency_experiment,
+    scalability_experiment,
+)
+from repro.evaluation.reporting import pivot_table
+
+DP_BUDGET = 60_000  # |OS| * l cap for the optimal method
+
+
+def _efficiency_panel(name: str, engine, rds_table: str, min_size: int, benchmark) -> None:
+    subjects = sample_subjects(engine, rds_table, N_SAMPLE_OS, min_size)
+    pairs = os_pairs(engine, rds_table, subjects, prelim_l=max(L_EFFICIENCY))
+
+    def experiment():
+        return efficiency_experiment(
+            pairs, L_EFFICIENCY, dp_budget_nodes=DP_BUDGET
+        )
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    tagged = [
+        {
+            "l": r.l,
+            "series": f"{r.method}[{r.source}]",
+            "ms": r.seconds * 1000 if not math.isnan(r.seconds) else float("nan"),
+        }
+        for r in rows
+    ]
+    emit(
+        name,
+        f"Aver|OS| = {mean_os_size(pairs):.0f} (times in ms; nan = over DP budget, "
+        f"mirroring the paper's 30-min cut-off)\n"
+        + pivot_table(tagged, index="l", columns="series", value="ms", float_format="{:.2f}"),
+    )
+
+    def mean_ms(method: str, source: str) -> float:
+        values = [
+            r.seconds for r in rows
+            if r.method == method and r.source == source and not math.isnan(r.seconds)
+        ]
+        return 1000 * sum(values) / len(values) if values else float("nan")
+
+    # Headline orderings: greedy beats DP; prelim beats complete.  Small
+    # tolerances absorb timer noise on sub-millisecond runs (tiny OSs,
+    # where prelim-50 is nearly the whole OS anyway).
+    if not math.isnan(mean_ms("optimal", "complete")):
+        assert mean_ms("bottom_up", "complete") <= mean_ms("optimal", "complete") * 1.2
+        assert mean_ms("top_path", "complete") <= mean_ms("optimal", "complete") * 1.2
+    assert mean_ms("bottom_up", "prelim") <= mean_ms("bottom_up", "complete") * 1.5 + 0.1
+    assert mean_ms("top_path", "prelim") <= mean_ms("top_path", "complete") * 1.5 + 0.1
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_dblp_author(benchmark, dblp_engine_bench) -> None:
+    _efficiency_panel("fig10a_dblp_author", dblp_engine_bench, "author", 150, benchmark)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_dblp_paper(benchmark, dblp_engine_bench) -> None:
+    _efficiency_panel("fig10b_dblp_paper", dblp_engine_bench, "paper", 40, benchmark)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10c_tpch_customer(benchmark, tpch_engine_bench) -> None:
+    _efficiency_panel("fig10c_tpch_customer", tpch_engine_bench, "customer", 80, benchmark)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10d_tpch_supplier(benchmark, tpch_engine_bench) -> None:
+    _efficiency_panel("fig10d_tpch_supplier", tpch_engine_bench, "supplier", 400, benchmark)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10e_scalability(benchmark, dblp_engine_bench) -> None:
+    """Figure 10(e): time vs |OS| at l = 10, over graded Author OS sizes."""
+    engine = dblp_engine_bench
+    scores = engine.store.array("author")
+    order = scores.argsort()[::-1]
+    buckets = [(40, 120), (120, 300), (300, 700), (700, 2000), (2000, 10_000)]
+    trees = []
+    for lo, hi in buckets:
+        for row_id in order:
+            tree = engine.complete_os("author", int(row_id))
+            if lo <= tree.size < hi:
+                trees.append(tree)
+                break
+    assert len(trees) >= 3, "not enough OS size diversity at bench scale"
+
+    def experiment():
+        return scalability_experiment(trees, l=10, dp_budget_nodes=DP_BUDGET)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    tagged = [
+        {
+            "|OS|": int(r.mean_os_size),
+            "method": r.method,
+            "ms": r.seconds * 1000 if not math.isnan(r.seconds) else float("nan"),
+        }
+        for r in rows
+    ]
+    emit(
+        "fig10e_scalability",
+        pivot_table(tagged, index="|OS|", columns="method", value="ms", float_format="{:.2f}"),
+    )
+    # Greedy cost grows (roughly) with |OS|: the largest tree should cost
+    # more than the smallest for bottom_up.
+    bu = [r for r in rows if r.method == "bottom_up"]
+    assert bu[-1].seconds >= bu[0].seconds * 0.5  # noisy but must not invert wildly
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10f_breakdown(benchmark, tpch_engine_bench) -> None:
+    """Figure 10(f): generation + computation split for Supplier OSs at
+    l = 10 and l = 50, including prelim-l sizes and I/O accesses."""
+    engine = tpch_engine_bench
+    subjects = sample_subjects(engine, "supplier", 3, 400)
+
+    def experiment():
+        return breakdown_experiment(engine, "supplier", subjects, [10, 50])
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "fig10f_breakdown",
+        "\n".join(
+            f"l={row.l:3d}  {row.label:35s} gen={row.generation_seconds*1000:9.2f}ms  "
+            f"compute={row.computation_seconds*1000:8.2f}ms  "
+            f"|initial OS|={row.initial_os_size:7.1f}  io={row.io_accesses:8.1f}"
+            for row in rows
+        ),
+    )
+    by_label = {(r.label, r.l): r for r in rows}
+    dg = by_label[("bottom_up on complete[datagraph]", 10)]
+    db = by_label[("bottom_up on complete[database]", 10)]
+    # The paper's data-graph-vs-database gap (0.2 s vs 12.9 s) is a disk-I/O
+    # story; both our backends are in-memory, so wall-clock is the same
+    # order (asserted loosely) and the deterministic I/O counter carries the
+    # real comparison: hundreds of join statements vs none.
+    assert dg.io_accesses == 0
+    assert db.io_accesses > 100
+    assert dg.generation_seconds < db.generation_seconds * 10
+    # Prelim OSs must be much smaller than complete OSs (paper: ~10-20%).
+    prelim10 = by_label[("bottom_up on prelim[datagraph]", 10)]
+    assert prelim10.initial_os_size < 0.5 * dg.initial_os_size

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  Keeping a setup.py
+lets ``pip install -e .`` use the legacy ``setup.py develop`` path, which
+works offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

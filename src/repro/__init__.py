@@ -1,0 +1,82 @@
+"""repro — a full reproduction of "Size-l Object Summaries for Relational
+Keyword Search" (Fakas, Cai, Mamoulis; PVLDB 5(3), 2011).
+
+The library implements the paper's complete stack from scratch:
+
+* an embedded relational engine (:mod:`repro.db`),
+* schema graphs and G_DS treealization with affinity (:mod:`repro.schema_graph`),
+* global ObjectRank / ValueRank tuple importance (:mod:`repro.ranking`),
+* the tuple-level data graph index (:mod:`repro.datagraph`),
+* Object Summary generation and the size-l algorithms — optimal DP,
+  Bottom-Up Pruning, Update Top-Path-l, prelim-l OS generation
+  (:mod:`repro.core`),
+* keyword search (:mod:`repro.search`),
+* synthetic DBLP and TPC-H datasets (:mod:`repro.datasets`), and
+* the Section-6 experiment harness (:mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro.datasets.dblp import small_dblp
+    from repro.ranking import compute_objectrank
+    from repro.core import SizeLEngine
+
+    data = small_dblp()
+    store = compute_objectrank(data.db, data.ga1())
+    engine = SizeLEngine(
+        data.db,
+        {"author": data.author_gds(), "paper": data.paper_gds()},
+        store,
+    )
+    for entry in engine.keyword_query("Faloutsos", l=15):
+        print(entry.result.render())
+"""
+
+from repro.core import (
+    ObjectSummary,
+    OSNode,
+    SizeLEngine,
+    SizeLResult,
+    bottom_up_size_l,
+    brute_force_size_l,
+    generate_os,
+    generate_prelim_os,
+    optimal_size_l,
+    top_path_size_l,
+)
+from repro.db import Column, ColumnType, Database, ForeignKey, TableSchema
+from repro.ranking import (
+    ImportanceStore,
+    compute_objectrank,
+    compute_pagerank,
+    compute_valuerank,
+)
+from repro.schema_graph import GDS, ManualAffinityModel, SchemaGraph, build_gds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectSummary",
+    "OSNode",
+    "SizeLEngine",
+    "SizeLResult",
+    "bottom_up_size_l",
+    "brute_force_size_l",
+    "generate_os",
+    "generate_prelim_os",
+    "optimal_size_l",
+    "top_path_size_l",
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "TableSchema",
+    "ImportanceStore",
+    "compute_objectrank",
+    "compute_pagerank",
+    "compute_valuerank",
+    "GDS",
+    "ManualAffinityModel",
+    "SchemaGraph",
+    "build_gds",
+    "__version__",
+]

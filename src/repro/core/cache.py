@@ -1,0 +1,122 @@
+"""Pre-computation / caching of OSs and size-l results (Section 7).
+
+The paper's conclusion: "the general case ... prevents the incremental
+computation of a size-l OS from the optimal size-(l−1) OS, limiting
+pre-computation or caching approaches" — but the *family analysis*
+(:mod:`repro.core.analysis`) shows consecutive optima overlap heavily, so a
+cache that stores complete OSs and memoises per-(subject, l, algorithm)
+results still removes almost all repeated work in interactive exploration
+(the user sliding an l-slider re-hits the same subject over and over).
+
+:class:`SummaryCache` wraps a :class:`~repro.core.engine.SizeLEngine`:
+
+* complete OSs are cached per (R_DS table, row) — generation dominates the
+  end-to-end cost (Figure 10(f)), so this is the big win;
+* size-l results are memoised per (subject, l, algorithm);
+* the databases in this library are append-only, so entries never go stale
+  mid-session; :meth:`invalidate` supports explicit refresh after loads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.engine import SizeLEngine
+from repro.core.os_tree import ObjectSummary, SizeLResult
+
+
+class SummaryCache:
+    """An LRU cache of complete OSs and size-l results over an engine.
+
+    ``max_subjects`` bounds the number of cached complete OSs (they are the
+    memory-heavy part); size-l results are small and kept per cached
+    subject, evicted together with it.
+    """
+
+    def __init__(self, engine: SizeLEngine, max_subjects: int = 64) -> None:
+        if max_subjects < 1:
+            raise ValueError(f"max_subjects must be >= 1, got {max_subjects}")
+        self.engine = engine
+        self.max_subjects = max_subjects
+        self._trees: OrderedDict[tuple[str, int], ObjectSummary] = OrderedDict()
+        self._results: dict[tuple[str, int], dict[tuple[int, str], SizeLResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Complete OSs
+    # ------------------------------------------------------------------ #
+    def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
+        """The cached complete OS of a subject (generated on first use)."""
+        key = (rds_table, row_id)
+        if key in self._trees:
+            self.hits += 1
+            self._trees.move_to_end(key)
+            return self._trees[key]
+        self.misses += 1
+        tree = self.engine.complete_os(rds_table, row_id)
+        self._trees[key] = tree
+        self._results.setdefault(key, {})
+        if len(self._trees) > self.max_subjects:
+            evicted, _tree = self._trees.popitem(last=False)
+            self._results.pop(evicted, None)
+        return tree
+
+    # ------------------------------------------------------------------ #
+    # Size-l results
+    # ------------------------------------------------------------------ #
+    def size_l(
+        self,
+        rds_table: str,
+        row_id: int,
+        l: int,  # noqa: E741
+        algorithm: str = "top_path",
+    ) -> SizeLResult:
+        """Memoised size-l computation on the cached complete OS."""
+        subject = (rds_table, row_id)
+        tree = self.complete_os(rds_table, row_id)
+        per_subject = self._results.setdefault(subject, {})
+        result_key = (l, algorithm)
+        if result_key in per_subject:
+            self.hits += 1
+            return per_subject[result_key]
+        self.misses += 1
+        from repro.core.engine import ALGORITHMS
+        from repro.errors import SummaryError
+
+        if algorithm not in ALGORITHMS:
+            raise SummaryError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        result = ALGORITHMS[algorithm](tree, l)
+        per_subject[result_key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Management
+    # ------------------------------------------------------------------ #
+    def invalidate(self, rds_table: str | None = None, row_id: int | None = None) -> None:
+        """Drop cached entries (all, per table, or one subject)."""
+        if rds_table is None:
+            self._trees.clear()
+            self._results.clear()
+            return
+        keys = [
+            key
+            for key in self._trees
+            if key[0] == rds_table and (row_id is None or key[1] == row_id)
+        ]
+        for key in keys:
+            del self._trees[key]
+            self._results.pop(key, None)
+
+    @property
+    def cached_subjects(self) -> int:
+        return len(self._trees)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cached_subjects": self.cached_subjects,
+        }

@@ -1,0 +1,138 @@
+"""Algorithm 1: the optimal size-l OS via dynamic programming.
+
+For every node v of the OS (bottom-up) we compute ``S_{v,i}``: the best
+connected subtree rooted at v with exactly i nodes, for i up to
+min(l − d(v), |subtree(v)|) — nodes deeper than l − 1 cannot belong to any
+connected size-l OS containing the root (the complete root-to-v path must be
+included), exactly the paper's depth argument.
+
+The paper describes the per-node step as "examine all possible combinations
+of v's children and number of nodes to be selected from their subtrees".
+Enumerating compositions literally is exponential in the child count; the
+equivalent polynomial formulation folds children in one at a time with a
+knapsack merge (``m_k(j)`` = best weight using j nodes from the first k
+child subtrees).  The merge explores the same combination space, so
+Lemma 1's optimality proof carries over unchanged — and
+:mod:`repro.core.brute_force` verifies it in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.os_tree import ObjectSummary, SizeLResult, validate_l
+
+NEG_INF = float("-inf")
+
+
+def optimal_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E741
+    """Compute the optimal size-l OS of *os_tree* (Lemma 1: exact).
+
+    When the OS has at most l reachable nodes (after the depth-< l filter),
+    all of them are returned — a size-min(l, n) OS, matching how the paper's
+    experiments handle small OSs ("the smaller the OS is in comparison to l
+    the more accurate our algorithms are"; at |OS| ≤ l every method returns
+    the whole OS).
+    """
+    validate_l(l)
+    eligible = [node for node in os_tree.nodes if node.depth < l]
+    eligible_uids = {node.uid for node in eligible}
+
+    if len(eligible) <= l:
+        selected = set(eligible_uids)
+        summary = os_tree.materialise_subset(selected)
+        return SizeLResult(
+            summary=summary,
+            selected_uids=selected,
+            importance=summary.total_importance(),
+            algorithm="dp",
+            l=l,
+            stats={"cell_updates": 0, "eligible_nodes": len(eligible)},
+        )
+
+    # Subtree sizes restricted to eligible nodes.
+    sizes: dict[int, int] = {}
+    for node in reversed(eligible):  # reversed BFS = post-order
+        sizes[node.uid] = 1 + sum(
+            sizes[child.uid] for child in node.children if child.uid in eligible_uids
+        )
+
+    best: dict[int, list[float]] = {}
+    # choices[uid][k][j] = nodes allocated to the k-th eligible child when j
+    # nodes total are drawn from the first k+1 child subtrees.
+    choices: dict[int, list[list[int]]] = {}
+    eligible_children: dict[int, list] = {}
+    cell_updates = 0
+
+    for node in reversed(eligible):
+        cap = min(l - node.depth, sizes[node.uid])
+        children = [c for c in node.children if c.uid in eligible_uids]
+        eligible_children[node.uid] = children
+        # m[j]: best weight using exactly j nodes from merged child subtrees,
+        # j in [0, cap - 1] (node itself consumes one slot).
+        m = [NEG_INF] * cap
+        m[0] = 0.0
+        allocations: list[list[int]] = []
+        for child in children:
+            child_best = best[child.uid]
+            child_cap = len(child_best) - 1
+            new_m = [NEG_INF] * cap
+            alloc = [0] * cap
+            for j in range(cap):
+                best_val = m[j]  # t = 0: take nothing from this child
+                best_t = 0
+                top_t = min(j, child_cap)
+                for t in range(1, top_t + 1):
+                    prev = m[j - t]
+                    if prev == NEG_INF:
+                        continue
+                    val = prev + child_best[t]
+                    cell_updates += 1
+                    if val > best_val:
+                        best_val = val
+                        best_t = t
+                new_m[j] = best_val
+                alloc[j] = best_t
+            m = new_m
+            allocations.append(alloc)
+        best[node.uid] = [NEG_INF] + [
+            (node.weight + m[i - 1]) if m[i - 1] != NEG_INF else NEG_INF
+            for i in range(1, cap + 1)
+        ]
+        choices[node.uid] = allocations
+
+    root = os_tree.root
+    target = min(l, sizes[root.uid])
+    root_best = best[root.uid]
+    if target >= len(root_best) or root_best[target] == NEG_INF:
+        # Cannot happen on a connected tree, but guard against misuse.
+        target = max(i for i in range(1, len(root_best)) if root_best[i] != NEG_INF)
+
+    selected: set[int] = set()
+
+    def reconstruct(uid: int, count: int) -> None:
+        selected.add(uid)
+        remaining = count - 1
+        allocations = choices[uid]
+        children = eligible_children[uid]
+        # Replay the merge backwards: the k-th allocation table was computed
+        # with budget j = nodes drawn from the first k+1 children.
+        for k in range(len(children) - 1, -1, -1):
+            taken = allocations[k][remaining]
+            if taken > 0:
+                reconstruct(children[k].uid, taken)
+            remaining -= taken
+        assert remaining == 0, "DP reconstruction did not consume its budget"
+
+    reconstruct(root.uid, target)
+    summary = os_tree.materialise_subset(selected)
+    importance = summary.total_importance()
+    assert abs(importance - root_best[target]) < 1e-6 * max(1.0, abs(importance)), (
+        "DP table value disagrees with reconstructed subtree weight"
+    )
+    return SizeLResult(
+        summary=summary,
+        selected_uids=selected,
+        importance=importance,
+        algorithm="dp",
+        l=l,
+        stats={"cell_updates": cell_updates, "eligible_nodes": len(eligible)},
+    )

@@ -1,0 +1,248 @@
+"""The public size-l OS query engine.
+
+Ties every subsystem together: keyword search resolves Data Subjects, the
+θ-pruned and annotated G_DS drives OS generation (complete or prelim-l,
+data-graph or database backend), and the chosen algorithm (DP, Bottom-Up,
+Top-Path) produces the size-l OSs.  This is the paper's end-to-end pipeline:
+
+    query "Faloutsos", l=15
+      → three Author t_DS matches
+      → three size-15 OSs (Example 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro.core.bottom_up import bottom_up_size_l
+from repro.core.dp import optimal_size_l
+from repro.core.generation import (
+    DatabaseBackend,
+    DataGraphBackend,
+    GenerationBackend,
+    generate_os,
+)
+from repro.core.os_tree import ObjectSummary, SizeLResult
+from repro.core.prelim import PrelimStats, generate_prelim_os
+from repro.core.top_path import top_path_size_l
+from repro.datagraph.builder import build_data_graph
+from repro.datagraph.graph import DataGraph
+from repro.db.database import Database
+from repro.db.query import QueryInterface
+from repro.errors import SummaryError
+from repro.ranking.store import ImportanceStore, annotate_gds
+from repro.schema_graph.gds import GDS
+from repro.search.keyword import DataSubjectMatch, KeywordSearcher
+
+#: Algorithm registry: name → callable(os_tree, l) -> SizeLResult.
+ALGORITHMS = {
+    "dp": optimal_size_l,
+    "bottom_up": bottom_up_size_l,
+    "top_path": top_path_size_l,
+    "top_path_optimized": lambda os_tree, l: top_path_size_l(
+        os_tree, l, variant="optimized"
+    ),
+}
+
+
+@dataclass
+class KeywordResult:
+    """One ranked entry of a keyword query's result list."""
+
+    match: DataSubjectMatch
+    result: SizeLResult
+
+
+class SizeLEngine:
+    """End-to-end engine over one database.
+
+    Parameters
+    ----------
+    db:
+        The database.
+    gds_by_root:
+        One (unpruned) G_DS per R_DS table; the engine applies θ and
+        annotates max/mmax statistics.
+    store:
+        Global importance scores (ObjectRank / ValueRank / ...).
+    theta:
+        The affinity threshold; the paper uses θ = 0.7 throughout.
+    data_graph:
+        Optional prebuilt data graph; built lazily when the data-graph
+        backend is first used.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        gds_by_root: dict[str, GDS],
+        store: ImportanceStore,
+        theta: float = 0.7,
+        data_graph: DataGraph | None = None,
+    ) -> None:
+        self.db = db
+        self.store = store
+        self.theta = theta
+        self.gds_by_root = {
+            root: gds.prune(theta) for root, gds in gds_by_root.items()
+        }
+        for gds in self.gds_by_root.values():
+            annotate_gds(gds, store)
+        self._data_graph = data_graph
+        self.query_interface = QueryInterface(db)
+        self.searcher = KeywordSearcher(db, list(self.gds_by_root), store)
+
+    # ------------------------------------------------------------------ #
+    # Backends
+    # ------------------------------------------------------------------ #
+    @property
+    def data_graph(self) -> DataGraph:
+        if self._data_graph is None:
+            self._data_graph = build_data_graph(self.db)
+        return self._data_graph
+
+    def backend(self, kind: str = "datagraph") -> GenerationBackend:
+        """``"datagraph"`` (fast, in-memory) or ``"database"`` (I/O counted)."""
+        if kind == "datagraph":
+            return DataGraphBackend(self.db, self.data_graph)
+        if kind == "database":
+            return DatabaseBackend(self.query_interface)
+        raise SummaryError(f"unknown backend kind: {kind!r}")
+
+    def gds_for(self, rds_table: str) -> GDS:
+        try:
+            return self.gds_by_root[rds_table]
+        except KeyError:
+            raise SummaryError(
+                f"no G_DS registered for R_DS table {rds_table!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # OS generation
+    # ------------------------------------------------------------------ #
+    def complete_os(
+        self,
+        rds_table: str,
+        row_id: int,
+        backend: str = "datagraph",
+        depth_limit: int | None = None,
+    ) -> ObjectSummary:
+        """Generate the complete OS of a Data Subject (Algorithm 5)."""
+        return generate_os(
+            row_id,
+            self.gds_for(rds_table),
+            self.backend(backend),
+            self.store,
+            depth_limit=depth_limit,
+        )
+
+    def prelim_os(
+        self,
+        rds_table: str,
+        row_id: int,
+        l: int,  # noqa: E741
+        backend: str = "datagraph",
+    ) -> tuple[ObjectSummary, PrelimStats]:
+        """Generate the top-l prelim-l OS of a Data Subject (Algorithm 4)."""
+        return generate_prelim_os(
+            row_id,
+            self.gds_for(rds_table),
+            self.backend(backend),
+            self.store,
+            l,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size-l computation
+    # ------------------------------------------------------------------ #
+    def size_l(
+        self,
+        rds_table: str,
+        row_id: int,
+        l: int,  # noqa: E741
+        algorithm: str = "top_path",
+        source: str = "complete",
+        backend: str = "datagraph",
+    ) -> SizeLResult:
+        """Generate + summarise: the full pipeline for one Data Subject.
+
+        ``source`` selects the initial OS the algorithm operates on:
+        ``"complete"`` (Algorithm 5) or ``"prelim"`` (Algorithm 4) — the
+        choice the paper evaluates throughout Section 6.
+        """
+        if algorithm not in ALGORITHMS:
+            raise SummaryError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        gen_start = perf_counter()
+        prelim_stats: PrelimStats | None = None
+        if source == "complete":
+            os_tree = self.complete_os(rds_table, row_id, backend=backend)
+        elif source == "prelim":
+            os_tree, prelim_stats = self.prelim_os(rds_table, row_id, l, backend=backend)
+        else:
+            raise SummaryError(f"unknown source {source!r}; use 'complete' or 'prelim'")
+        gen_seconds = perf_counter() - gen_start
+
+        algo_fn = ALGORITHMS[algorithm]
+        algo_start = perf_counter()
+        result = algo_fn(os_tree, l)
+        algo_seconds = perf_counter() - algo_start
+
+        result.stats.update(
+            {
+                "source": source,
+                "backend": backend,
+                "initial_os_size": os_tree.size,
+                "generation_seconds": gen_seconds,
+                "algorithm_seconds": algo_seconds,
+            }
+        )
+        if prelim_stats is not None:
+            result.stats["prelim"] = prelim_stats
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Keyword queries (the paper's end-to-end paradigm)
+    # ------------------------------------------------------------------ #
+    def keyword_query(
+        self,
+        keywords: list[str] | str,
+        l: int,  # noqa: E741
+        algorithm: str = "top_path",
+        source: str = "prelim",
+        backend: str = "datagraph",
+        max_results: int | None = None,
+    ) -> list[KeywordResult]:
+        """Run a size-l OS keyword query: one size-l OS per matching DS.
+
+        Results are ordered by the global importance of the t_DS tuple (how
+        the OS paradigm ranks its result list).
+        """
+        matches = self.searcher.search(keywords)
+        if max_results is not None:
+            matches = matches[:max_results]
+        results: list[KeywordResult] = []
+        for match in matches:
+            result = self.size_l(
+                match.table,
+                match.row_id,
+                l,
+                algorithm=algorithm,
+                source=source,
+                backend=backend,
+            )
+            results.append(KeywordResult(match=match, result=result))
+        return results
+
+    def describe(self) -> dict[str, Any]:
+        """A small status snapshot (used by examples and docs)."""
+        return {
+            "database": self.db.name,
+            "tables": {name: len(self.db.table(name)) for name in self.db.table_names},
+            "total_rows": self.db.total_rows,
+            "rds_tables": list(self.gds_by_root),
+            "theta": self.theta,
+        }

@@ -1,0 +1,246 @@
+"""Complete OS generation — Algorithm 5 of the paper.
+
+A breadth-first traversal of the (θ-pruned) G_DS starting from the t_DS
+tuple: for each dequeued tuple occurrence, each child relation of its G_DS
+node is joined to fetch child tuples, which are appended to the OS tree and
+enqueued.
+
+Two backends mirror the paper's two generation strategies (Section 6.3):
+
+* :class:`DataGraphBackend` — walks the in-memory tuple-level data graph
+  ("the OSs are generated much faster using the data graph");
+* :class:`DatabaseBackend` — issues one join query per (parent tuple, child
+  relation) through :class:`~repro.db.query.QueryInterface`, with I/O
+  accounting ("directly from the database").
+
+Both backends also implement the thresholded TOP-l fetch that prelim-l OS
+generation (Algorithm 4, Avoidance Condition 2) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.os_tree import ObjectSummary, OSNode
+from repro.datagraph.graph import DataGraph
+from repro.db.database import Database
+from repro.db.query import QueryInterface
+from repro.errors import SummaryError
+from repro.ranking.store import ImportanceStore
+from repro.schema_graph.gds import GDS, GDSNode, JunctionJoin, RefJoin, ReverseJoin
+
+
+class GenerationBackend(Protocol):
+    """Fetches child tuples for OS generation."""
+
+    @property
+    def db(self) -> Database:
+        ...  # pragma: no cover
+
+    def children(self, gds_child: GDSNode, parent: OSNode) -> list[int]:
+        """Row ids of *gds_child*-relation tuples joining the parent tuple."""
+        ...  # pragma: no cover
+
+    def children_top(
+        self,
+        gds_child: GDSNode,
+        parent: OSNode,
+        store: ImportanceStore,
+        threshold: float,
+        limit: int,
+    ) -> list[int]:
+        """Avoidance-Condition-2 fetch: at most *limit* children whose local
+        importance strictly exceeds *threshold*, best first."""
+        ...  # pragma: no cover
+
+
+def _origin_row(gds_child: GDSNode, parent: OSNode) -> int | None:
+    """The row to exclude for co-author style joins (see JunctionJoin)."""
+    join = gds_child.join
+    if (
+        isinstance(join, JunctionJoin)
+        and join.exclude_origin
+        and parent.parent is not None
+        and parent.parent.table == join.target_table
+    ):
+        return parent.parent.row_id
+    return None
+
+
+class DataGraphBackend:
+    """Child fetches over the prebuilt tuple-level data graph."""
+
+    def __init__(self, db: Database, data_graph: DataGraph) -> None:
+        self._db = db
+        self.data_graph = data_graph
+        self.nodes_visited = 0
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    def children(self, gds_child: GDSNode, parent: OSNode) -> list[int]:
+        assert gds_child.join is not None
+        rows = self.data_graph.children_of(
+            gds_child.join, parent.table, parent.row_id, _origin_row(gds_child, parent)
+        )
+        self.nodes_visited += len(rows)
+        return rows
+
+    def children_top(
+        self,
+        gds_child: GDSNode,
+        parent: OSNode,
+        store: ImportanceStore,
+        threshold: float,
+        limit: int,
+    ) -> list[int]:
+        rows = self.children(gds_child, parent)
+        scored = [
+            (store.local_importance(gds_child, row), -row, row)
+            for row in rows
+            if store.local_importance(gds_child, row) > threshold
+        ]
+        scored.sort(reverse=True)
+        return [row for _score, _neg, row in scored[:limit]]
+
+
+class DatabaseBackend:
+    """Child fetches via per-join queries against the relational engine.
+
+    Each call to :meth:`children` / :meth:`children_top` executes exactly one
+    statement template (counting one I/O access), matching the paper's cost
+    model: a junction hop is a single SQL join, and Avoidance Condition 2
+    "still requires an I/O access even when it returns no results".
+    """
+
+    def __init__(self, query_interface: QueryInterface) -> None:
+        self.qi = query_interface
+
+    @property
+    def db(self) -> Database:
+        return self.qi.db
+
+    @property
+    def io_accesses(self) -> int:
+        return self.qi.io_accesses
+
+    def _junction_targets(
+        self, join: JunctionJoin, junction_rows: list[int], origin: int | None
+    ) -> list[int]:
+        junction = self.db.table(join.junction_table)
+        target = self.db.table(join.target_table)
+        to_idx = junction.schema.column_index(join.to_column)
+        children: list[int] = []
+        for junction_row in junction_rows:
+            pk = junction.row(junction_row)[to_idx]
+            if pk is None:
+                continue
+            row = target.row_id_for_pk(pk)
+            if join.exclude_origin and origin is not None and row == origin:
+                continue
+            children.append(row)
+        return children
+
+    def children(self, gds_child: GDSNode, parent: OSNode) -> list[int]:
+        join = gds_child.join
+        assert join is not None
+        parent_table = self.db.table(parent.table)
+        if isinstance(join, RefJoin):
+            ref = parent_table.value(parent.row_id, join.fk_column)
+            if ref is None:
+                self.qi.io_accesses += 1  # the lookup still executes
+                return []
+            return self.qi.lookup_by_pk(join.target_table, ref)
+        parent_pk = parent_table.pk_of_row(parent.row_id)
+        if isinstance(join, ReverseJoin):
+            return self.qi.select_where_eq(join.child_table, join.fk_column, parent_pk)
+        if isinstance(join, JunctionJoin):
+            junction_rows = self.qi.select_where_eq(
+                join.junction_table, join.from_column, parent_pk
+            )
+            return self._junction_targets(
+                join, junction_rows, _origin_row(gds_child, parent)
+            )
+        raise SummaryError(f"unknown join spec: {join!r}")  # pragma: no cover
+
+    def children_top(
+        self,
+        gds_child: GDSNode,
+        parent: OSNode,
+        store: ImportanceStore,
+        threshold: float,
+        limit: int,
+    ) -> list[int]:
+        join = gds_child.join
+        assert join is not None
+        if isinstance(join, ReverseJoin):
+            def score_of(table: str, row_id: int) -> float:
+                return store.local_importance(gds_child, row_id)
+
+            parent_pk = self.db.table(parent.table).pk_of_row(parent.row_id)
+            return self.qi.select_top_where_eq(
+                join.child_table,
+                join.fk_column,
+                parent_pk,
+                score_of,
+                threshold,
+                limit,
+            )
+        # RefJoin and JunctionJoin: fetch (one statement) then filter/limit,
+        # which is what the single SQL join with the li predicate would do.
+        rows = self.children(gds_child, parent)
+        scored = [
+            (store.local_importance(gds_child, row), -row, row)
+            for row in rows
+            if store.local_importance(gds_child, row) > threshold
+        ]
+        scored.sort(reverse=True)
+        return [row for _score, _neg, row in scored[:limit]]
+
+
+def generate_os(
+    tds_row_id: int,
+    gds: GDS,
+    backend: GenerationBackend,
+    store: ImportanceStore,
+    depth_limit: int | None = None,
+    max_nodes: int | None = None,
+) -> ObjectSummary:
+    """Algorithm 5: generate the complete OS for a t_DS tuple.
+
+    *gds* should already be θ-pruned (the engine does this); *depth_limit*
+    implements the paper's footnote 1 — tuples at distance ≥ l from the root
+    cannot participate in a connected size-l OS and may be excluded up
+    front.  *max_nodes* is a safety valve for pathological fan-outs (not
+    part of the paper; ``None`` disables it).
+    """
+    root_gds = gds.root
+    root_weight = store.local_importance(root_gds, tds_row_id)
+    root = OSNode(0, root_gds, tds_row_id, None, root_weight)
+    queue: list[OSNode] = [root]
+    cursor = 0
+    next_uid = 1
+    while cursor < len(queue):
+        node = queue[cursor]
+        cursor += 1
+        if depth_limit is not None and node.depth >= depth_limit:
+            continue
+        for gds_child in node.gds.children:
+            for row_id in backend.children(gds_child, node):
+                child = OSNode(
+                    next_uid,
+                    gds_child,
+                    row_id,
+                    node,
+                    store.local_importance(gds_child, row_id),
+                )
+                next_uid += 1
+                node.children.append(child)
+                queue.append(child)
+                if max_nodes is not None and next_uid > max_nodes:
+                    raise SummaryError(
+                        f"OS exceeded max_nodes={max_nodes}; raise the limit or "
+                        f"tighten theta/depth"
+                    )
+    return ObjectSummary(root, db=backend.db, kind="complete")

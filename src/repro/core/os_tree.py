@@ -1,0 +1,256 @@
+"""Object Summary trees.
+
+An OS is a tree of *tuple occurrences*: the same database tuple may appear
+under several branches (Michalis Faloutsos appears as Co-Author under many of
+Christos's papers) and every occurrence is a distinct node with its own
+weight.  Node weights are local importances Im(OS, t_i) = Im(t_i) · Af(t_i)
+(Equation 3); the importance of any sub-summary is the sum of its node
+weights (Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import SummaryError
+from repro.schema_graph.gds import GDSNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+
+class OSNode:
+    """One tuple occurrence in an OS tree."""
+
+    __slots__ = ("uid", "gds", "row_id", "parent", "children", "weight", "depth")
+
+    def __init__(
+        self,
+        uid: int,
+        gds: GDSNode,
+        row_id: int,
+        parent: "OSNode | None",
+        weight: float,
+    ) -> None:
+        self.uid = uid
+        self.gds = gds
+        self.row_id = row_id
+        self.parent = parent
+        self.children: list[OSNode] = []
+        self.weight = weight
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    @property
+    def table(self) -> str:
+        return self.gds.table
+
+    @property
+    def label(self) -> str:
+        return self.gds.label
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def path_from_root(self) -> list["OSNode"]:
+        """Nodes from the OS root down to (and including) this node."""
+        path: list[OSNode] = []
+        node: OSNode | None = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"OSNode(uid={self.uid}, {self.label}#{self.row_id}, "
+            f"w={self.weight:.3f}, depth={self.depth})"
+        )
+
+
+class ObjectSummary:
+    """An OS (complete, prelim-l, or a size-l subset materialised as a tree).
+
+    Holds references to the database (for rendering attribute values) and
+    exposes the traversals the size-l algorithms need.  ``nodes`` is in BFS
+    order — the order Algorithm 5's breadth-first generation creates them.
+    """
+
+    def __init__(
+        self,
+        root: OSNode,
+        db: "Database | None" = None,
+        kind: str = "complete",
+    ) -> None:
+        self.root = root
+        self.db = db
+        self.kind = kind
+        self.nodes: list[OSNode] = self._bfs_order()
+        self._by_uid = {node.uid: node for node in self.nodes}
+        if len(self._by_uid) != len(self.nodes):
+            raise SummaryError("duplicate node uids in ObjectSummary")
+
+    def _bfs_order(self) -> list[OSNode]:
+        order: list[OSNode] = []
+        queue = [self.root]
+        cursor = 0
+        while cursor < len(queue):
+            node = queue[cursor]
+            cursor += 1
+            order.append(node)
+            queue.extend(node.children)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Size / structure
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of tuple occurrences (the paper's |OS|)."""
+        return len(self.nodes)
+
+    def node(self, uid: int) -> OSNode:
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise SummaryError(f"no OS node with uid {uid}") from None
+
+    def has_node(self, uid: int) -> bool:
+        return uid in self._by_uid
+
+    def leaves(self) -> list[OSNode]:
+        return [node for node in self.nodes if node.is_leaf()]
+
+    def max_depth(self) -> int:
+        return max(node.depth for node in self.nodes)
+
+    def post_order(self) -> Iterator[OSNode]:
+        """Children-before-parents traversal (drives the DP)."""
+        return reversed(self.nodes)  # BFS reversed is a valid post-order
+
+    def subtree_sizes(self) -> dict[int, int]:
+        """uid → number of nodes in that node's subtree (itself included)."""
+        sizes: dict[int, int] = {}
+        for node in self.post_order():
+            sizes[node.uid] = 1 + sum(sizes[child.uid] for child in node.children)
+        return sizes
+
+    def total_importance(self) -> float:
+        """Im of the whole summary (Equation 2 over all nodes)."""
+        return sum(node.weight for node in self.nodes)
+
+    # ------------------------------------------------------------------ #
+    # Subset materialisation
+    # ------------------------------------------------------------------ #
+    def materialise_subset(self, selected_uids: set[int], kind: str = "size-l") -> "ObjectSummary":
+        """Build a new ObjectSummary restricted to *selected_uids*.
+
+        The subset must contain the root and be connected (every selected
+        node's parent selected) — the stand-alone requirement of
+        Definition 1; violations raise :class:`~repro.errors.SummaryError`.
+        """
+        if self.root.uid not in selected_uids:
+            raise SummaryError("size-l subset must contain the OS root (t_DS)")
+        clones: dict[int, OSNode] = {}
+        for node in self.nodes:  # BFS order guarantees parents first
+            if node.uid not in selected_uids:
+                continue
+            if node.parent is None:
+                parent_clone = None
+            else:
+                parent_clone = clones.get(node.parent.uid)
+                if parent_clone is None:
+                    raise SummaryError(
+                        f"size-l subset is disconnected: node {node.uid} selected "
+                        f"without its parent {node.parent.uid}"
+                    )
+            clone = OSNode(node.uid, node.gds, node.row_id, parent_clone, node.weight)
+            if parent_clone is not None:
+                parent_clone.children.append(clone)
+            clones[node.uid] = clone
+        missing = selected_uids - set(clones)
+        if missing:
+            raise SummaryError(f"selected uids not present in OS: {sorted(missing)}")
+        return ObjectSummary(clones[self.root.uid], db=self.db, kind=kind)
+
+    # ------------------------------------------------------------------ #
+    # Rendering (the paper's Examples 4 and 5 format)
+    # ------------------------------------------------------------------ #
+    def node_text(self, node: OSNode) -> str:
+        """Render one node as ``Label: attr. attr.`` using its G_DS attributes."""
+        if self.db is None:
+            return f"{node.label}#{node.row_id}"
+        table = self.db.table(node.table)
+        parts: list[str] = []
+        for attr in node.gds.attributes:
+            value = table.value(node.row_id, attr)
+            if value is None:
+                continue
+            parts.append(str(value))
+        body = ", ".join(parts) if parts else f"#{table.pk_of_row(node.row_id)}"
+        return f"{node.label}: {body}"
+
+    def render(self, max_nodes: int | None = None, indent: str = "..") -> str:
+        """Indented text rendering in the style of the paper's Example 4/5."""
+        lines: list[str] = []
+        budget = self.size if max_nodes is None else max_nodes
+
+        def visit(node: OSNode) -> None:
+            nonlocal budget
+            if budget <= 0:
+                return
+            budget -= 1
+            prefix = indent * node.depth
+            lines.append(f"{prefix}{self.node_text(node)}")
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        if max_nodes is not None and self.size > max_nodes:
+            lines.append(f"... ({self.size - max_nodes} more tuples)")
+        return "\n".join(lines)
+
+    def word_count(self) -> int:
+        """Total rendered word count (drives the word-budget extension)."""
+        return sum(len(self.node_text(node).split()) for node in self.nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectSummary(kind={self.kind!r}, root={self.root.label!r}, "
+            f"size={self.size})"
+        )
+
+
+@dataclass
+class SizeLResult:
+    """Outcome of a size-l computation.
+
+    ``summary`` is the selected subtree materialised as its own
+    :class:`ObjectSummary`; ``importance`` is Im(S) (Equation 2);
+    ``stats`` carries algorithm-specific counters (heap operations, DP cell
+    updates, I/O accesses, elapsed seconds) for the efficiency experiments.
+    """
+
+    summary: ObjectSummary
+    selected_uids: set[int]
+    importance: float
+    algorithm: str
+    l: int  # noqa: E741 - paper notation
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.selected_uids)
+
+    def render(self) -> str:
+        return self.summary.render()
+
+
+def validate_l(l: object) -> int:  # noqa: E741 - paper notation
+    """Validate a summary size parameter, returning it as an int."""
+    from repro.errors import InvalidSizeError
+
+    if not isinstance(l, int) or isinstance(l, bool) or l < 1:
+        raise InvalidSizeError(l)
+    return l

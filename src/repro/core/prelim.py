@@ -1,0 +1,102 @@
+"""Algorithm 4: top-l prelim-l OS generation with avoidance conditions.
+
+A prelim-l OS is a partial OS guaranteed to contain the *top-l set* — the l
+tuples of the complete OS with the largest local importance (Definition 2).
+Generating it avoids extracting "fruitless" tuples:
+
+* **Avoidance Condition 1** — if the running ``largest-l`` threshold already
+  dominates both max(R_i) and mmax(R_i) of a child relation, the entire
+  G_DS subtree under R_i is skipped with *no* I/O at all (the statistics
+  live on the annotated G_DS).
+* **Avoidance Condition 2** — if ``largest-l`` dominates mmax(R_i) only,
+  R_i's tuples may still be fruitful but none of their descendants can be;
+  the join is issued as ``SELECT TOP l ... AND li > largest-l``, extracting
+  at most l qualifying tuples (one I/O access even when empty).
+
+Lemma 3 (tested): under monotone local importance the prelim-l OS contains
+the optimal size-l OS.  In general it need not (the paper's Figure 7 example
+misses node ca16) — the quality experiments measure the practical impact,
+which the paper reports as at most ~4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generation import GenerationBackend
+from repro.core.os_tree import ObjectSummary, OSNode, validate_l
+from repro.ranking.store import ImportanceStore
+from repro.schema_graph.gds import GDS
+from repro.util.heaps import BoundedTopHeap
+
+
+@dataclass
+class PrelimStats:
+    """Counters for the Section 5.3 / 6.3 cost discussion."""
+
+    extracted_tuples: int = 0
+    avoided_subtrees: int = 0  # Avoidance Condition 1 hits
+    limited_extractions: int = 0  # Avoidance Condition 2 hits
+    full_extractions: int = 0
+    top_l_uids: set[int] = field(default_factory=set)
+
+
+def generate_prelim_os(
+    tds_row_id: int,
+    gds: GDS,
+    backend: GenerationBackend,
+    store: ImportanceStore,
+    l: int,  # noqa: E741
+    depth_limit: int | None = None,
+) -> tuple[ObjectSummary, PrelimStats]:
+    """Generate the top-l prelim-l OS for a t_DS tuple (Algorithm 4).
+
+    Requires the G_DS to be annotated with max(R_i)/mmax(R_i)
+    (:func:`repro.ranking.store.annotate_gds`).  Returns the prelim OS and
+    extraction statistics; the OS is tagged ``kind="prelim"`` and the stats
+    record which nodes form the top-l set.
+    """
+    validate_l(l)
+    stats = PrelimStats()
+    root_gds = gds.root
+    root_weight = store.local_importance(root_gds, tds_row_id)
+    root = OSNode(0, root_gds, tds_row_id, None, root_weight)
+    stats.extracted_tuples += 1
+
+    top_l: BoundedTopHeap[int] = BoundedTopHeap(l)
+    top_l.offer(root.uid, root_weight)
+
+    queue: list[OSNode] = [root]
+    cursor = 0
+    next_uid = 1
+    while cursor < len(queue):
+        node = queue[cursor]
+        cursor += 1
+        if depth_limit is not None and node.depth >= depth_limit:
+            continue
+        for gds_child in node.gds.children:
+            largest_l = top_l.threshold
+            # Avoidance Condition 1: the whole G_DS subtree is fruitless.
+            if largest_l >= gds_child.max_local and largest_l >= gds_child.mmax_local:
+                stats.avoided_subtrees += 1
+                continue
+            # Avoidance Condition 2: descendants are fruitless; cap the join.
+            if largest_l >= gds_child.mmax_local:
+                rows = backend.children_top(gds_child, node, store, largest_l, l)
+                stats.limited_extractions += 1
+            else:
+                rows = backend.children(gds_child, node)
+                stats.full_extractions += 1
+            for row_id in rows:
+                weight = store.local_importance(gds_child, row_id)
+                child = OSNode(next_uid, gds_child, row_id, node, weight)
+                next_uid += 1
+                node.children.append(child)
+                queue.append(child)
+                stats.extracted_tuples += 1
+                if weight > top_l.threshold or not top_l.is_full:
+                    top_l.offer(child.uid, weight)
+
+    stats.top_l_uids = {uid for uid, _score in top_l.items()}
+    summary = ObjectSummary(root, db=backend.db, kind="prelim")
+    return summary, stats

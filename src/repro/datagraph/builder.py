@@ -1,0 +1,48 @@
+"""Builds the data graph from a database (one pass per FK edge)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.datagraph.graph import DataGraph, FkAdjacency
+
+
+def build_data_graph(db: Database) -> DataGraph:
+    """Index every FK relationship of *db* at the tuple level.
+
+    The construction is a single scan per owning table: O(total rows).
+    The paper reports 17 s for DBLP and 128 s for TPC-H SF-1 on 2011
+    hardware; :func:`timed_build` measures ours for the DGBUILD bench.
+    """
+    adjacencies: dict[tuple[str, str], FkAdjacency] = {}
+    for owner_name, fk in db.foreign_keys():
+        owner = db.table(owner_name)
+        target = db.table(fk.ref_table)
+        col_idx = owner.schema.column_index(fk.column)
+        forward = np.full(len(owner), -1, dtype=np.int64)
+        backward: list[list[int]] = [[] for _ in range(len(target))]
+        for row_id, row in owner.scan():
+            ref = row[col_idx]
+            if ref is None:
+                continue
+            target_row = target.row_id_for_pk(ref)
+            forward[row_id] = target_row
+            backward[target_row].append(row_id)
+        adjacencies[(owner_name, fk.column)] = FkAdjacency(
+            owner=owner_name,
+            column=fk.column,
+            target=fk.ref_table,
+            forward=forward,
+            backward=backward,
+        )
+    return DataGraph(adjacencies)
+
+
+def timed_build(db: Database) -> tuple[DataGraph, float]:
+    """Build the data graph and return (graph, seconds)."""
+    start = time.perf_counter()
+    graph = build_data_graph(db)
+    return graph, time.perf_counter() - start

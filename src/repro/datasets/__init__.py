@@ -1,0 +1,28 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on the real DBLP dump and TPC-H SF-1.  Neither is
+available offline, so this package generates structurally faithful synthetic
+equivalents (see DESIGN.md §3 for the substitution argument):
+
+* :mod:`repro.datasets.dblp` — an academic-publications database with
+  power-law citation and co-authorship distributions, plus a scripted
+  "Faloutsos family" of three related prolific authors so the paper's
+  running example (Examples 1-5, Q1 = "Faloutsos") is reproducible;
+* :mod:`repro.datasets.tpch` — a TPC-H-like trading database with a scale
+  factor, carrying the value columns (TotalPrice, ExtendedPrice, SupplyCost,
+  RetailPrice) that ValueRank consumes.
+
+Both generators are fully deterministic under their ``seed``.
+"""
+
+from repro.datasets.dblp import DBLPConfig, DBLPDataset, generate_dblp
+from repro.datasets.tpch import TPCHConfig, TPCHDataset, generate_tpch
+
+__all__ = [
+    "DBLPConfig",
+    "DBLPDataset",
+    "generate_dblp",
+    "TPCHConfig",
+    "TPCHDataset",
+    "generate_tpch",
+]

@@ -1,0 +1,77 @@
+"""Name and word pools for the synthetic generators (deterministic)."""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Alice", "Bruno", "Carla", "Daniel", "Elena", "Farid", "Greta", "Hiro",
+    "Irene", "Jorge", "Katja", "Liang", "Maria", "Nikos", "Olga", "Pavel",
+    "Qing", "Rosa", "Stefan", "Tomas", "Uma", "Viktor", "Wendy", "Xavier",
+    "Yara", "Zoltan", "Amir", "Beatriz", "Chen", "Dmitri", "Esra", "Felipe",
+    "Gloria", "Hassan", "Ingrid", "Javier", "Kenji", "Lucia", "Mateo",
+    "Nadia", "Omar", "Petra", "Rafael", "Sofia", "Tariq", "Ursula",
+    "Vikram", "Willem", "Ximena", "Yusuf",
+]
+
+LAST_NAMES = [
+    "Almeida", "Bergstrom", "Castellanos", "Dimitriou", "Eriksson",
+    "Fontaine", "Gupta", "Hoffmann", "Ivanova", "Jansen", "Kowalski",
+    "Lindqvist", "Moreau", "Nakamura", "Oliveira", "Papadopoulos",
+    "Quintero", "Rosenberg", "Santos", "Takahashi", "Ullman", "Vasquez",
+    "Weber", "Xu", "Yamamoto", "Zhang", "Antoniou", "Bianchi", "Cardoso",
+    "Duarte", "Engel", "Ferrari", "Galanis", "Haddad", "Iqbal", "Jimenez",
+    "Klein", "Lombardi", "Martens", "Novak", "Okafor", "Petrov", "Ricci",
+    "Schneider", "Toledo", "Uchida", "Vogel", "Wagner", "Yilmaz", "Zuniga",
+]
+
+CONFERENCE_NAMES = [
+    "SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "CIKM", "KDD", "WWW",
+    "SIGIR", "ICDT", "DASFAA", "SSDBM", "WSDM", "SIGCOMM", "SIGGRAPH",
+    "SODA", "FOCS", "STOC", "ICML", "NIPS", "AAAI", "IJCAI", "CHI",
+    "OSDI", "SOSP", "NSDI", "USENIX-ATC", "EuroSys", "MobiCom", "InfoCom",
+]
+
+TITLE_ADJECTIVES = [
+    "Efficient", "Scalable", "Robust", "Adaptive", "Incremental",
+    "Distributed", "Parallel", "Approximate", "Optimal", "Dynamic",
+    "Declarative", "Interactive", "Streaming", "Probabilistic", "Secure",
+]
+
+TITLE_NOUNS = [
+    "Indexing", "Summarization", "Ranking", "Clustering", "Sampling",
+    "Joins", "Aggregation", "Provenance", "Compression", "Partitioning",
+    "Caching", "Recovery", "Replication", "Scheduling", "Estimation",
+]
+
+TITLE_OBJECTS = [
+    "Relational Databases", "Data Streams", "Graph Data", "Spatial Data",
+    "Time Series", "Key-Value Stores", "Column Stores", "Sensor Networks",
+    "Social Networks", "Web Archives", "Text Corpora", "Log Data",
+    "Scientific Workflows", "Probabilistic Data", "Multimedia Content",
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+ORDER_STATUSES = ["O", "F", "P"]
+
+PART_ADJECTIVES = [
+    "anodized", "brushed", "burnished", "plated", "polished", "lacquered",
+]
+
+PART_MATERIALS = ["brass", "copper", "nickel", "steel", "tin", "zinc"]
+
+PART_SHAPES = ["rod", "plate", "gear", "valve", "hinge", "coupling", "washer"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: Nation index → region index, mirroring TPC-H's fixed assignment.
+NATION_TO_REGION = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+]

@@ -1,0 +1,27 @@
+"""In-memory relational engine substrate.
+
+The paper's system runs over MySQL; this package provides the equivalent
+embedded substrate: typed tables with primary keys, hash indexes, foreign
+keys, referential-integrity validation, and the minimal query layer that the
+OS-generation algorithms need (the two SQL statement templates of
+Algorithm 4).  An I/O accounting hook counts join queries so the cost
+discussion of Sections 5.3 and 6.3 can be measured.
+"""
+
+from repro.db.types import ColumnType
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.db.index import HashIndex
+from repro.db.database import Database
+from repro.db.query import QueryInterface
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Table",
+    "HashIndex",
+    "Database",
+    "QueryInterface",
+]

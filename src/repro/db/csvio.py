@@ -1,0 +1,73 @@
+"""CSV import/export for tables (used by the examples and for debugging)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.table import Table
+from repro.errors import SchemaError
+
+
+def export_table(table: Table, path: str | Path) -> int:
+    """Write *table* to CSV with a header row; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([c.name for c in table.schema.columns])
+        count = 0
+        for _row_id, row in table.scan():
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count
+
+
+def import_table(table: Table, path: str | Path) -> int:
+    """Load CSV rows into *table*; header must match the schema columns.
+
+    Values are parsed according to each column's declared type; empty cells
+    become NULL.  Returns the number of rows inserted.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"empty CSV file: {path}") from None
+        expected = [c.name for c in table.schema.columns]
+        if header != expected:
+            raise SchemaError(
+                f"CSV header {header} does not match schema columns {expected}"
+            )
+        count = 0
+        for cells in reader:
+            values = [
+                col.type.parse_text(cell)
+                for col, cell in zip(table.schema.columns, cells)
+            ]
+            table.insert(values)
+            count += 1
+    return count
+
+
+def export_database(db: Database, directory: str | Path) -> dict[str, int]:
+    """Export every table to ``directory/<table>.csv``; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        table.name: export_table(table, directory / f"{table.name}.csv")
+        for table in db.tables()
+    }
+
+
+def import_database(db: Database, directory: str | Path) -> dict[str, int]:
+    """Import ``directory/<table>.csv`` into each existing table of *db*."""
+    directory = Path(directory)
+    counts: dict[str, int] = {}
+    for table in db.tables():
+        csv_path = directory / f"{table.name}.csv"
+        if csv_path.exists():
+            counts[table.name] = import_table(table, csv_path)
+    return counts

@@ -1,0 +1,147 @@
+"""The database catalog: tables, foreign keys, indexes, integrity checks."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.index import HashIndex
+from repro.db.schema import ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+
+
+class Database:
+    """An embedded relational database.
+
+    Responsibilities:
+
+    * catalog of :class:`~repro.db.table.Table` objects keyed by name;
+    * foreign-key registry (populated from table schemas on creation);
+    * hash-index management (``index_on`` creates or returns an index);
+    * referential-integrity validation (:meth:`validate_integrity`).
+
+    The database itself is query-agnostic; the statement templates used by
+    the OS algorithms live in :class:`~repro.db.query.QueryInterface`.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    # ------------------------------------------------------------------ #
+    # Catalog
+    # ------------------------------------------------------------------ #
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from *schema*; FK targets must already exist."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table already exists: {schema.name!r}")
+        for fk in schema.foreign_keys:
+            if fk.ref_table not in self._tables and fk.ref_table != schema.name:
+                raise SchemaError(
+                    f"table {schema.name!r} references unknown table {fk.ref_table!r}"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    @property
+    def total_rows(self) -> int:
+        """Total tuple count across all tables (the paper reports these)."""
+        return sum(len(t) for t in self._tables.values())
+
+    # ------------------------------------------------------------------ #
+    # Foreign keys
+    # ------------------------------------------------------------------ #
+    def foreign_keys(self) -> list[tuple[str, ForeignKey]]:
+        """All (owning_table, fk) pairs in the database."""
+        pairs: list[tuple[str, ForeignKey]] = []
+        for table in self._tables.values():
+            for fk in table.schema.foreign_keys:
+                pairs.append((table.name, fk))
+        return pairs
+
+    def foreign_keys_of(self, table_name: str) -> list[ForeignKey]:
+        return list(self.table(table_name).schema.foreign_keys)
+
+    def foreign_keys_into(self, table_name: str) -> list[tuple[str, ForeignKey]]:
+        """All (owning_table, fk) pairs whose FK references *table_name*."""
+        self.table(table_name)  # raise on unknown table
+        return [
+            (owner, fk)
+            for owner, fk in self.foreign_keys()
+            if fk.ref_table == table_name
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def index_on(self, table_name: str, column: str) -> HashIndex:
+        """Create (or return the existing) hash index on table.column."""
+        key = (table_name, column)
+        if key not in self._indexes:
+            self._indexes[key] = HashIndex(self.table(table_name), column)
+        return self._indexes[key]
+
+    def ensure_fk_indexes(self) -> None:
+        """Index every FK column and every referenced PK (loader helper)."""
+        for owner, fk in self.foreign_keys():
+            self.index_on(owner, fk.column)
+
+    # ------------------------------------------------------------------ #
+    # Bulk load + integrity
+    # ------------------------------------------------------------------ #
+    def insert(self, table_name: str, values: Mapping[str, Any] | Sequence[Any]) -> int:
+        return self.table(table_name).insert(values)
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any] | Sequence[Any]]
+    ) -> list[int]:
+        table = self.table(table_name)
+        return [table.insert(row) for row in rows]
+
+    def validate_integrity(self) -> None:
+        """Check every FK value resolves to an existing referenced PK.
+
+        Raises :class:`~repro.errors.IntegrityError` naming the first
+        dangling reference found.  NULL FK values are permitted (SQL
+        semantics for nullable FK columns).
+        """
+        for owner_name, fk in self.foreign_keys():
+            owner = self.table(owner_name)
+            target = self.table(fk.ref_table)
+            if fk.ref_column != target.schema.primary_key:
+                raise IntegrityError(
+                    f"FK {owner_name}.{fk.column} must reference the primary key "
+                    f"of {fk.ref_table!r} ({target.schema.primary_key!r}), "
+                    f"not {fk.ref_column!r}"
+                )
+            col_idx = owner.schema.column_index(fk.column)
+            for row_id, row in owner.scan():
+                value = row[col_idx]
+                if value is None:
+                    continue
+                if not target.has_pk(value):
+                    raise IntegrityError(
+                        f"dangling FK: {owner_name}.{fk.column}={value!r} "
+                        f"(row {row_id}) has no match in {fk.ref_table}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={len(self._tables)}, rows={self.total_rows})"

@@ -1,0 +1,58 @@
+"""Hash indexes over table columns.
+
+The OS-generation algorithms look up children by foreign-key equality; a
+per-column hash index makes each such lookup O(1 + fan-out), which is what
+lets the data-graph-free "directly from the database" backend of the paper
+work at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.table import Table
+
+
+class HashIndex:
+    """A hash index mapping a column value to the row ids holding it.
+
+    NULLs are not indexed (matching SQL semantics where ``col = NULL`` never
+    matches).  The index is built from existing rows on construction and kept
+    current via :meth:`add_row`, which the owning table calls on insert.
+    """
+
+    def __init__(self, table: Table, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._col_idx = table.schema.column_index(column)
+        self._buckets: dict[Any, list[int]] = {}
+        for row_id, row in table.scan():
+            self.add_row(row_id, row)
+        table.attach_index(self)
+
+    def add_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        """Index one row (called by the table on insert)."""
+        value = row[self._col_idx]
+        if value is None:
+            return
+        self._buckets.setdefault(value, []).append(row_id)
+
+    def lookup(self, value: Any) -> list[int]:
+        """Return row ids whose column equals *value* (insertion order)."""
+        return self._buckets.get(value, [])
+
+    def fan_out(self, value: Any) -> int:
+        """Number of rows matching *value* (used by affinity cardinality)."""
+        return len(self._buckets.get(value, []))
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def average_fan_out(self) -> float:
+        """Mean bucket size over distinct values (0.0 for an empty index)."""
+        if not self._buckets:
+            return 0.0
+        return sum(len(b) for b in self._buckets.values()) / len(self._buckets)
+
+    def __repr__(self) -> str:
+        return f"HashIndex({self.table.name}.{self.column}, distinct={len(self._buckets)})"

@@ -1,0 +1,106 @@
+"""The minimal query layer used by the OS algorithms.
+
+Algorithm 4 (prelim-l OS generation) issues exactly two SQL statement
+templates against the database:
+
+* line 12: ``SELECT * FROM Ri WHERE tj.ID = Ri.ID`` — a full equi-join
+  lookup of the children of a parent tuple;
+* line 10: ``SELECT * TOP l FROM Ri WHERE tj.ID = Ri.ID AND Ri.li > largest_l``
+  — the same lookup capped to the l highest-local-importance children above
+  a threshold (Avoidance Condition 2).
+
+:class:`QueryInterface` implements both over hash indexes and counts each
+statement execution as one *I/O access*, matching the paper's cost
+accounting ("Avoidance Condition 2 still requires an I/O access even when
+it returns no results", Section 5.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Sequence
+
+from repro.db.database import Database
+
+
+class QueryInterface:
+    """Executes the two statement templates of Algorithm 4 with I/O counting.
+
+    ``score_of(table_name, row_id) -> float`` supplies the per-tuple ordering
+    key for the TOP-l variant; in the paper this is the tuple's local
+    importance ``Ri.li`` (global importance times the G_DS node affinity).
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.io_accesses = 0
+        self.rows_fetched = 0
+
+    def reset_counters(self) -> None:
+        self.io_accesses = 0
+        self.rows_fetched = 0
+
+    # ------------------------------------------------------------------ #
+    # Statement templates
+    # ------------------------------------------------------------------ #
+    def select_where_eq(self, table_name: str, column: str, value: Any) -> list[int]:
+        """``SELECT * FROM table WHERE column = value`` → row ids.
+
+        Counts one I/O access regardless of result size.
+        """
+        self.io_accesses += 1
+        index = self.db.index_on(table_name, column)
+        row_ids = index.lookup(value)
+        self.rows_fetched += len(row_ids)
+        return list(row_ids)
+
+    def select_top_where_eq(
+        self,
+        table_name: str,
+        column: str,
+        value: Any,
+        score_of: Callable[[str, int], float],
+        threshold: float,
+        limit: int,
+    ) -> list[int]:
+        """``SELECT * TOP limit FROM table WHERE column = value AND li > threshold``.
+
+        Returns at most *limit* row ids with score strictly above *threshold*,
+        ordered by descending score (ties broken by row id for determinism).
+        Counts one I/O access even when nothing qualifies — exactly the cost
+        behaviour the paper attributes to Avoidance Condition 2.
+        """
+        self.io_accesses += 1
+        index = self.db.index_on(table_name, column)
+        candidates = index.lookup(value)
+        self.rows_fetched += len(candidates)
+        qualifying = [
+            (score_of(table_name, row_id), -row_id, row_id)
+            for row_id in candidates
+            if score_of(table_name, row_id) > threshold
+        ]
+        if len(qualifying) > limit:
+            top = heapq.nlargest(limit, qualifying)
+        else:
+            top = sorted(qualifying, reverse=True)
+        return [row_id for _score, _neg, row_id in top]
+
+    def lookup_by_pk(self, table_name: str, pk_value: Any) -> list[int]:
+        """``SELECT * FROM table WHERE pk = value`` (0 or 1 row ids)."""
+        self.io_accesses += 1
+        table = self.db.table(table_name)
+        if table.has_pk(pk_value):
+            self.rows_fetched += 1
+            return [table.row_id_for_pk(pk_value)]
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Convenience (not I/O counted: client-side projections)
+    # ------------------------------------------------------------------ #
+    def project(
+        self, table_name: str, row_ids: Sequence[int], columns: Sequence[str]
+    ) -> list[tuple[Any, ...]]:
+        """Project *columns* from the given rows (client-side, no I/O cost)."""
+        table = self.db.table(table_name)
+        idxs = [table.schema.column_index(c) for c in columns]
+        return [tuple(table.row(rid)[i] for i in idxs) for rid in row_ids]

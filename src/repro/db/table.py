@@ -1,0 +1,118 @@
+"""Row storage for a single table.
+
+Rows are stored as immutable tuples in insertion order; the row id is the
+position in that list.  A primary-key hash index is maintained automatically;
+secondary indexes register themselves via :meth:`Table.attach_index` and are
+kept current on insert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+from repro.db.schema import TableSchema
+from repro.errors import IntegrityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.index import HashIndex
+
+
+class Table:
+    """A table: schema + rows + primary-key index."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._pk_to_row: dict[Any, int] = {}
+        self._indexes: list["HashIndex"] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Mapping[str, Any] | Sequence[Any]) -> int:
+        """Insert one row (mapping by column name, or positional sequence).
+
+        Returns the new row id.  Validates types and primary-key uniqueness;
+        foreign keys are validated at the :class:`~repro.db.database.Database`
+        level (so bulk loads may insert parents and children in any order and
+        call ``validate_integrity`` once).
+        """
+        schema = self.schema
+        if isinstance(values, Mapping):
+            row_list = []
+            unknown = set(values) - {c.name for c in schema.columns}
+            if unknown:
+                raise IntegrityError(
+                    f"unknown columns for table {schema.name!r}: {sorted(unknown)}"
+                )
+            for col in schema.columns:
+                row_list.append(values.get(col.name))
+        else:
+            if len(values) != len(schema.columns):
+                raise IntegrityError(
+                    f"table {schema.name!r} expects {len(schema.columns)} values, "
+                    f"got {len(values)}"
+                )
+            row_list = list(values)
+
+        for idx, col in enumerate(schema.columns):
+            row_list[idx] = col.type.validate(row_list[idx], nullable=col.nullable)
+
+        pk_value = row_list[schema.pk_index]
+        if pk_value in self._pk_to_row:
+            raise IntegrityError(
+                f"duplicate primary key {pk_value!r} in table {schema.name!r}"
+            )
+
+        row = tuple(row_list)
+        row_id = len(self._rows)
+        self._rows.append(row)
+        self._pk_to_row[pk_value] = row_id
+        for index in self._indexes:
+            index.add_row(row_id, row)
+        return row_id
+
+    def attach_index(self, index: "HashIndex") -> None:
+        """Register a secondary index to be maintained on future inserts."""
+        self._indexes.append(index)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def row(self, row_id: int) -> tuple[Any, ...]:
+        """Return the full row tuple for *row_id*."""
+        return self._rows[row_id]
+
+    def value(self, row_id: int, column: str) -> Any:
+        """Return a single column value of a row."""
+        return self._rows[row_id][self.schema.column_index(column)]
+
+    def pk_of_row(self, row_id: int) -> Any:
+        """Return the primary-key value of *row_id*."""
+        return self._rows[row_id][self.schema.pk_index]
+
+    def row_id_for_pk(self, pk_value: Any) -> int:
+        """Resolve a primary-key value to its row id (KeyError if absent)."""
+        return self._pk_to_row[pk_value]
+
+    def has_pk(self, pk_value: Any) -> bool:
+        return pk_value in self._pk_to_row
+
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Iterate over (row_id, row) pairs in insertion order."""
+        return iter(enumerate(self._rows))
+
+    def row_as_dict(self, row_id: int) -> dict[str, Any]:
+        """Return a row as a column-name keyed dict (for display/CSV)."""
+        row = self._rows[row_id]
+        return {c.name: row[i] for i, c in enumerate(self.schema.columns)}
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={len(self._rows)})"

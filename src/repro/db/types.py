@@ -1,0 +1,70 @@
+"""Column types and value validation for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The engine keeps the type system minimal: the paper's workloads (DBLP,
+    TPC-H) only need integers, floats, text, and booleans.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    def validate(self, value: Any, *, nullable: bool) -> Any:
+        """Validate and canonicalise *value* for this type.
+
+        Integers are accepted for FLOAT columns (widened to float); bools are
+        *not* accepted for INT columns (a classic Python foot-gun).  ``None``
+        is allowed only for nullable columns.  Raises
+        :class:`~repro.errors.TypeMismatchError` on mismatch.
+        """
+        if value is None:
+            if nullable:
+                return None
+            raise TypeMismatchError("NULL value for non-nullable column")
+        if self is ColumnType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeMismatchError(f"expected int, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool):
+                raise TypeMismatchError(f"expected float, got {value!r}")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise TypeMismatchError(f"expected float, got {value!r}")
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise TypeMismatchError(f"expected str, got {value!r}")
+            return value
+        if self is ColumnType.BOOL:
+            if not isinstance(value, bool):
+                raise TypeMismatchError(f"expected bool, got {value!r}")
+            return value
+        raise TypeMismatchError(f"unhandled column type {self!r}")  # pragma: no cover
+
+    def parse_text(self, text: str) -> Any:
+        """Parse a CSV cell into a value of this type (empty string = NULL)."""
+        if text == "":
+            return None
+        if self is ColumnType.INT:
+            return int(text)
+        if self is ColumnType.FLOAT:
+            return float(text)
+        if self is ColumnType.BOOL:
+            lowered = text.strip().lower()
+            if lowered in ("true", "1", "t", "yes"):
+                return True
+            if lowered in ("false", "0", "f", "no"):
+                return False
+            raise TypeMismatchError(f"cannot parse bool from {text!r}")
+        return text

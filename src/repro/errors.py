@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subsystems raise the most specific subclass
+available; error messages always name the offending object (table, column,
+relation, node) to keep failures debuggable without a stack dive.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schema definitions (duplicate tables, bad columns)."""
+
+
+class UnknownTableError(SchemaError):
+    """Raised when a table name cannot be resolved in the catalog."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(SchemaError):
+    """Raised when a column name cannot be resolved in a table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column {column!r} in table {table!r}")
+        self.table = table
+        self.column = column
+
+
+class IntegrityError(ReproError):
+    """Raised on constraint violations (duplicate PK, dangling FK, type)."""
+
+
+class TypeMismatchError(IntegrityError):
+    """Raised when a value does not match its column's declared type."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries against the relational engine."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid schema-graph or G_DS operations."""
+
+
+class RankingError(ReproError):
+    """Raised for invalid authority-transfer graphs or failed iterations."""
+
+
+class ConvergenceError(RankingError):
+    """Raised when power iteration fails to converge within max iterations."""
+
+    def __init__(self, iterations: int, residual: float, tol: float) -> None:
+        super().__init__(
+            f"power iteration did not converge after {iterations} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})"
+        )
+        self.iterations = iterations
+        self.residual = residual
+        self.tol = tol
+
+
+class SummaryError(ReproError):
+    """Raised for invalid object-summary operations (bad l, missing root)."""
+
+
+class InvalidSizeError(SummaryError):
+    """Raised when a requested summary size l is not a positive integer."""
+
+    def __init__(self, l: object) -> None:  # noqa: E741 - paper notation
+        super().__init__(f"summary size l must be a positive integer, got {l!r}")
+        self.l = l
+
+
+class SearchError(ReproError):
+    """Raised for malformed keyword queries."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset generator is misconfigured."""

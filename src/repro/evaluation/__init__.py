@@ -1,0 +1,51 @@
+"""The Section-6 experiment harness.
+
+Drivers for every result figure of the paper:
+
+* :mod:`repro.evaluation.evaluators` — simulated human evaluators (the
+  paper used 11 DBLP authors and 8 professors; see DESIGN.md §3/§6 for the
+  substitution model);
+* :mod:`repro.evaluation.effectiveness` — Figure 8 (+ §6.1 in-text results);
+* :mod:`repro.evaluation.quality` — Figure 9 approximation quality;
+* :mod:`repro.evaluation.efficiency` — Figure 10 runtime/scalability/
+  breakdown;
+* :mod:`repro.evaluation.snippet_baseline` — the Google Desktop comparative
+  evaluation;
+* :mod:`repro.evaluation.reporting` — plain-text series tables matching the
+  figures' axes.
+"""
+
+from repro.evaluation.evaluators import EvaluatorConfig, SimulatedEvaluator, reweight
+from repro.evaluation.effectiveness import (
+    EffectivenessRow,
+    effectiveness_experiment,
+    greedy_effectiveness_impact,
+)
+from repro.evaluation.quality import QualityRow, quality_experiment
+from repro.evaluation.efficiency import (
+    EfficiencyRow,
+    breakdown_experiment,
+    efficiency_experiment,
+    scalability_experiment,
+)
+from repro.evaluation.snippet_baseline import snippet_overlap_experiment, static_snippet
+from repro.evaluation.reporting import pivot_table, rows_to_table
+
+__all__ = [
+    "EvaluatorConfig",
+    "SimulatedEvaluator",
+    "reweight",
+    "EffectivenessRow",
+    "effectiveness_experiment",
+    "greedy_effectiveness_impact",
+    "QualityRow",
+    "quality_experiment",
+    "EfficiencyRow",
+    "efficiency_experiment",
+    "scalability_experiment",
+    "breakdown_experiment",
+    "static_snippet",
+    "snippet_overlap_experiment",
+    "pivot_table",
+    "rows_to_table",
+]

@@ -1,0 +1,69 @@
+"""Plain-text report tables matching the paper's figure axes."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterable, Sequence
+
+from repro.util.text import format_table
+
+
+def _as_dict(row: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    raise TypeError(f"cannot tabulate row of type {type(row)!r}")
+
+
+def rows_to_table(rows: Iterable[Any], columns: Sequence[str] | None = None) -> str:
+    """Render dataclass/dict rows as an aligned text table."""
+    dict_rows = [_as_dict(r) for r in rows]
+    if not dict_rows:
+        return "(no rows)"
+    headers = list(columns) if columns else list(dict_rows[0])
+    body = [[row.get(h, "") for h in headers] for row in dict_rows]
+    return format_table(headers, body)
+
+
+def pivot_table(
+    rows: Iterable[Any],
+    index: str,
+    columns: str,
+    value: str,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Pivot rows into a figure-like series table.
+
+    Example — Figure 8(a) (index="l", columns="setting",
+    value="effectiveness") renders::
+
+        l   GA1-d1  GA1-d2  GA1-d3  GA2-d1
+        5   60.0    73.3    59.1    41.2
+        10  75.4    70.1    74.9    55.3
+        ...
+    """
+    dict_rows = [_as_dict(r) for r in rows]
+    if not dict_rows:
+        return "(no rows)"
+    col_keys: list[Any] = []
+    row_keys: list[Any] = []
+    cells: dict[tuple[Any, Any], Any] = {}
+    for row in dict_rows:
+        r_key, c_key = row[index], row[columns]
+        if c_key not in col_keys:
+            col_keys.append(c_key)
+        if r_key not in row_keys:
+            row_keys.append(r_key)
+        cells[(r_key, c_key)] = row[value]
+
+    headers = [index] + [str(c) for c in col_keys]
+    body: list[list[Any]] = []
+    for r_key in row_keys:
+        line: list[Any] = [r_key]
+        for c_key in col_keys:
+            cell = cells.get((r_key, c_key), math.nan)
+            line.append(cell)
+        body.append(line)
+    return format_table(headers, body, float_format=float_format)

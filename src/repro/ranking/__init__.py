@@ -1,0 +1,41 @@
+"""Global tuple-importance ranking.
+
+The paper scores tuples with *global* authority-flow metrics: global
+ObjectRank [3] for DBLP and ValueRank [9] for TPC-H (Section 2.2).  Both are
+computed here by sparse power iteration over the tuple graph, parameterised
+by an Authority Transfer Schema Graph (G_A, Figure 13) that assigns per-
+relationship transfer rates — optionally scaled by tuple values (ValueRank).
+
+The size-l algorithms are orthogonal to the importance definition (the paper
+says so explicitly); a plain PageRank baseline is included to demonstrate
+that.
+"""
+
+from repro.ranking.authority import (
+    AuthorityRelationship,
+    AuthorityTransferGraph,
+    ValueFunction,
+)
+from repro.ranking.power import (
+    NodeNumbering,
+    build_transfer_matrix,
+    power_iterate,
+)
+from repro.ranking.objectrank import compute_objectrank
+from repro.ranking.valuerank import compute_valuerank
+from repro.ranking.pagerank import compute_pagerank
+from repro.ranking.store import ImportanceStore, annotate_gds
+
+__all__ = [
+    "AuthorityRelationship",
+    "AuthorityTransferGraph",
+    "ValueFunction",
+    "NodeNumbering",
+    "build_transfer_matrix",
+    "power_iterate",
+    "compute_objectrank",
+    "compute_valuerank",
+    "compute_pagerank",
+    "ImportanceStore",
+    "annotate_gds",
+]

@@ -1,0 +1,243 @@
+"""Authority Transfer Schema Graphs (G_A) and tuple-edge enumeration.
+
+A G_A (Figure 13 of the paper, after Balmin et al.'s ObjectRank) annotates
+each schema relationship with two *authority transfer rates* — one per
+direction.  At the tuple level, a relationship instance (u, v) transfers
+
+    d · rate · share(u → v) · importance(u)
+
+per iteration, where ``share`` splits the rate among u's neighbours of that
+relationship type: evenly for ObjectRank, proportionally to a tuple *value
+function* for ValueRank (e.g. TPC-H orders receive authority from their
+customer proportionally to TotalPrice — the paper's "a customer with five
+orders of $10 may get lower importance than another customer with three
+orders of $100").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.db.database import Database
+from repro.errors import RankingError
+
+
+@dataclass(frozen=True)
+class ValueFunction:
+    """Value extractor for ValueRank shares.
+
+    ``column`` is read from the *receiving* tuple's relation; ``transform``
+    maps the raw value to a non-negative weight ("linear" or "log").  Weights
+    are normalised among the competing receivers, so only relative magnitude
+    matters.
+    """
+
+    table: str
+    column: str
+    transform: str = "linear"
+
+    def weight(self, raw: object) -> float:
+        if raw is None:
+            return 0.0
+        value = float(raw)  # type: ignore[arg-type]
+        if value < 0:
+            value = 0.0
+        if self.transform == "linear":
+            return value
+        if self.transform == "log":
+            return math.log1p(value)
+        raise RankingError(f"unknown value transform: {self.transform!r}")
+
+
+@dataclass(frozen=True)
+class AuthorityRelationship:
+    """One schema relationship with transfer rates in both directions.
+
+    Two kinds are supported, mirroring the schema graph:
+
+    * ``kind="fk"`` — ``table_a.column_a`` is a FK referencing ``table_b``;
+      tuple edges connect each owner row to its referenced row.
+    * ``kind="junction"`` — ``junction`` is a pure M:N table whose
+      ``column_a`` references ``table_a`` and ``column_b`` references
+      ``table_b``; tuple edges connect the two referenced rows.
+
+    ``rate_forward`` is the a→b transfer rate; ``rate_backward`` b→a.
+
+    ValueRank attaches value functions in two distinct roles:
+
+    * ``value_forward`` / ``value_backward`` — *receiver weighting*: the
+      direction's rate is split among the competing receivers proportionally
+      to their values (a customer's 0.5 rate flows mostly into the big
+      orders);
+    * ``source_value_forward`` / ``source_value_backward`` — *source
+      scaling*: the direction's rate is multiplied by the sending tuple's
+      normalised value (a $100 order passes more authority to its customer
+      than a $10 order does).  This is what makes "three $100 orders beat
+      five $10 orders" — without it, plain edge counting would reward the
+      many cheap orders.
+    """
+
+    name: str
+    kind: str  # "fk" | "junction"
+    table_a: str
+    table_b: str
+    column_a: str
+    column_b: str | None
+    rate_forward: float
+    rate_backward: float
+    junction: str | None = None
+    value_forward: ValueFunction | None = None
+    value_backward: ValueFunction | None = None
+    source_value_forward: ValueFunction | None = None
+    source_value_backward: ValueFunction | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fk", "junction"):
+            raise RankingError(f"unknown relationship kind: {self.kind!r}")
+        if self.kind == "junction" and (self.junction is None or self.column_b is None):
+            raise RankingError(
+                f"junction relationship {self.name!r} needs junction and column_b"
+            )
+        for rate in (self.rate_forward, self.rate_backward):
+            if rate < 0:
+                raise RankingError(
+                    f"negative transfer rate on relationship {self.name!r}"
+                )
+
+
+class AuthorityTransferGraph:
+    """A set of authority relationships over a database schema (a G_A)."""
+
+    def __init__(self, relationships: list[AuthorityRelationship]) -> None:
+        names = [r.name for r in relationships]
+        if len(set(names)) != len(names):
+            raise RankingError("duplicate relationship names in G_A")
+        self.relationships = list(relationships)
+
+    def with_uniform_rates(self, rate: float) -> "AuthorityTransferGraph":
+        """Return a copy with every (non-zero-capable) rate set to *rate* and
+        all value functions dropped.
+
+        This is the paper's G_A2 construction for DBLP ("common transfer
+        rates (0.3) for all edges") and, with values neglected, its TPC-H
+        G_A2 ("neglects values, i.e. becomes an ObjectRank G_A").
+        """
+        uniform = [
+            AuthorityRelationship(
+                name=r.name,
+                kind=r.kind,
+                table_a=r.table_a,
+                table_b=r.table_b,
+                column_a=r.column_a,
+                column_b=r.column_b,
+                rate_forward=rate,
+                rate_backward=rate,
+                junction=r.junction,
+            )
+            for r in self.relationships
+        ]
+        return AuthorityTransferGraph(uniform)
+
+    def without_values(self) -> "AuthorityTransferGraph":
+        """Return a copy with value functions dropped (ObjectRank shares)."""
+        plain = [
+            AuthorityRelationship(
+                name=r.name,
+                kind=r.kind,
+                table_a=r.table_a,
+                table_b=r.table_b,
+                column_a=r.column_a,
+                column_b=r.column_b,
+                rate_forward=r.rate_forward,
+                rate_backward=r.rate_backward,
+                junction=r.junction,
+            )
+            for r in self.relationships
+        ]
+        return AuthorityTransferGraph(plain)
+
+    def tables(self) -> set[str]:
+        involved: set[str] = set()
+        for r in self.relationships:
+            involved.add(r.table_a)
+            involved.add(r.table_b)
+        return involved
+
+    # ------------------------------------------------------------------ #
+    # Tuple-edge enumeration
+    # ------------------------------------------------------------------ #
+    def tuple_pairs(
+        self, db: Database, relationship: AuthorityRelationship
+    ) -> Iterator[tuple[int, int]]:
+        """Yield (row_a, row_b) tuple pairs for a relationship instance.
+
+        Row ids are table-local; callers combine them with table offsets.
+        Rows with NULL FKs contribute no pairs.
+        """
+        if relationship.kind == "fk":
+            owner = db.table(relationship.table_a)
+            target = db.table(relationship.table_b)
+            col_idx = owner.schema.column_index(relationship.column_a)
+            for row_id, row in owner.scan():
+                ref = row[col_idx]
+                if ref is None:
+                    continue
+                yield row_id, target.row_id_for_pk(ref)
+        else:
+            junction = db.table(relationship.junction)  # type: ignore[arg-type]
+            table_a = db.table(relationship.table_a)
+            table_b = db.table(relationship.table_b)
+            idx_a = junction.schema.column_index(relationship.column_a)
+            idx_b = junction.schema.column_index(relationship.column_b)  # type: ignore[arg-type]
+            for _row_id, row in junction.scan():
+                pk_a, pk_b = row[idx_a], row[idx_b]
+                if pk_a is None or pk_b is None:
+                    continue
+                yield table_a.row_id_for_pk(pk_a), table_b.row_id_for_pk(pk_b)
+
+
+WeightFn = Callable[[int], float]
+
+
+def receiver_weights(
+    db: Database, value_fn: ValueFunction | None
+) -> WeightFn:
+    """Build a row-id → weight function for value-proportional shares.
+
+    Returns a constant 1.0 weight when *value_fn* is None (ObjectRank's even
+    split); otherwise reads the configured column of the receiving tuple.
+    """
+    if value_fn is None:
+        return lambda _row_id: 1.0
+    table = db.table(value_fn.table)
+    col_idx = table.schema.column_index(value_fn.column)
+
+    def weight(row_id: int) -> float:
+        return value_fn.weight(table.row(row_id)[col_idx])
+
+    return weight
+
+
+def source_scalers(db: Database, value_fn: ValueFunction | None) -> WeightFn:
+    """Build a row-id → rate multiplier in [0, 1] for source scaling.
+
+    The raw value is normalised by the relation's maximum so the multiplier
+    stays in [0, 1] and the iteration's spectral radius cannot grow.  An
+    all-zero value column degenerates to a constant 1.0 (no scaling).
+    """
+    if value_fn is None:
+        return lambda _row_id: 1.0
+    table = db.table(value_fn.table)
+    col_idx = table.schema.column_index(value_fn.column)
+    max_weight = 0.0
+    for _row_id, row in table.scan():
+        max_weight = max(max_weight, value_fn.weight(row[col_idx]))
+    if max_weight <= 0.0:
+        return lambda _row_id: 1.0
+
+    def scaler(row_id: int) -> float:
+        return value_fn.weight(table.row(row_id)[col_idx]) / max_weight
+
+    return scaler

@@ -1,0 +1,44 @@
+"""Global ObjectRank (Balmin, Hristidis, Papakonstantinou — VLDB 2004).
+
+The paper uses *global* ObjectRank as Im(t_i) for the DBLP database: an
+extension of PageRank where authority flows along schema relationships with
+per-relationship transfer rates taken from a G_A (Figure 13a).  Well-cited
+papers accumulate authority from the papers citing them; authors accumulate
+from their papers; and so on.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.ranking.authority import AuthorityTransferGraph
+from repro.ranking.power import NodeNumbering, build_transfer_matrix, power_iterate
+from repro.ranking.store import ImportanceStore
+
+#: The damping factors evaluated in Section 6: d1 (default), d2, d3.
+DAMPING_D1 = 0.85
+DAMPING_D2 = 0.10
+DAMPING_D3 = 0.99
+
+
+def compute_objectrank(
+    db: Database,
+    ga: AuthorityTransferGraph,
+    damping: float = DAMPING_D1,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+    mean_scale: float = 1.0,
+) -> ImportanceStore:
+    """Compute global ObjectRank scores for every tuple in *db*.
+
+    Any value functions present in *ga* are ignored (dropped) — ObjectRank
+    splits authority evenly among neighbours.  Scores are scaled to a mean of
+    *mean_scale* for readability; scaling does not affect any algorithm.
+    """
+    plain_ga = ga.without_values()
+    numbering = NodeNumbering.for_database(db)
+    matrix, numbering = build_transfer_matrix(db, plain_ga, numbering)
+    vector, _iterations = power_iterate(
+        matrix, damping=damping, tol=tol, max_iterations=max_iterations
+    )
+    store = ImportanceStore.from_vector(db, vector, numbering.offsets)
+    return store.normalised_to_mean(mean_scale)

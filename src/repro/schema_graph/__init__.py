@@ -1,0 +1,42 @@
+"""Schema-level graphs: the database schema graph and G_DS treealization.
+
+The G_DS (Data Subject Schema Graph, Section 2.1 of the paper) is a directed
+labelled tree rooted at the relation R_DS holding data subjects.  It is a
+"treealization" of the schema: looped and many-to-many relationships are
+replicated into distinct tree nodes (PaperCites / PaperCitedBy / Co-Author in
+DBLP; the duplicated Supplier / Parts / Lineitem / Partsupp branches in
+TPC-H).  Each node carries an affinity score computed with Equation 1 and, once
+a ranking is available, the max(R_i)/mmax(R_i) statistics used by the prelim-l
+avoidance conditions.
+"""
+
+from repro.schema_graph.graph import SchemaEdge, SchemaGraph
+from repro.schema_graph.gds import (
+    GDS,
+    GDSNode,
+    JunctionJoin,
+    RefJoin,
+    ReverseJoin,
+    build_gds,
+)
+from repro.schema_graph.affinity import (
+    AffinityModel,
+    ComputedAffinityModel,
+    ManualAffinityModel,
+    select_attributes,
+)
+
+__all__ = [
+    "SchemaEdge",
+    "SchemaGraph",
+    "GDS",
+    "GDSNode",
+    "RefJoin",
+    "ReverseJoin",
+    "JunctionJoin",
+    "build_gds",
+    "AffinityModel",
+    "ComputedAffinityModel",
+    "ManualAffinityModel",
+    "select_attributes",
+]

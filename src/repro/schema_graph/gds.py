@@ -1,0 +1,350 @@
+"""G_DS construction: treealization of the schema graph (Section 2.1).
+
+A G_DS node describes *how to reach child tuples from a parent tuple*:
+
+* :class:`RefJoin` — the parent row carries a FK; the child is the single
+  referenced row (N:1), e.g. Paper → Year, Customer → Nation.
+* :class:`ReverseJoin` — child rows carry a FK to the parent (1:N), e.g.
+  Customer → Order, Nation → Supplier.
+* :class:`JunctionJoin` — an M:N hop through a pure junction table, e.g.
+  Author → Paper via ``writes``, Paper → Co-Author via ``writes`` reversed,
+  Paper → PaperCites / PaperCitedBy via ``cites``.
+
+Treealization rules (replicating the behaviour behind the paper's Figures 2
+and 12):
+
+* every FK relationship of the current relation spawns a child node, except
+  the exact reversal of the edge used to arrive (Customer → Nation does not
+  spawn Nation → Customer);
+* M:N edges *are* re-traversed backwards — that is what creates Co-Author —
+  but the materialisation then excludes the tuple we came from
+  (``exclude_origin``), which is why Christos Faloutsos never appears as his
+  own co-author;
+* a self-loop M:N relation (``cites``) spawns one child per FK column role,
+  yielding the replicated PaperCites and PaperCitedBy nodes;
+* expansion stops at ``max_depth``; applying the affinity threshold θ then
+  yields the pruned G_DS(θ) the algorithms traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.errors import GraphError
+from repro.schema_graph.graph import SchemaGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schema_graph.affinity import AffinityModel
+
+
+@dataclass(frozen=True)
+class RefJoin:
+    """Child = single row referenced by the parent's FK column (N:1)."""
+
+    fk_column: str
+    target_table: str
+
+
+@dataclass(frozen=True)
+class ReverseJoin:
+    """Children = rows of ``child_table`` whose ``fk_column`` = parent PK (1:N)."""
+
+    child_table: str
+    fk_column: str
+
+
+@dataclass(frozen=True)
+class JunctionJoin:
+    """Children = M:N partners through ``junction_table``.
+
+    For a parent tuple t: junction rows with ``from_column = t.pk`` are
+    fetched, and each row's ``to_column`` resolves a target-table tuple.
+    ``exclude_origin`` drops targets equal to the tuple the OS arrived from
+    (the co-author rule).
+    """
+
+    junction_table: str
+    from_column: str
+    to_column: str
+    target_table: str
+    exclude_origin: bool = False
+
+
+JoinSpec = RefJoin | ReverseJoin | JunctionJoin
+
+
+class GDSNode:
+    """One relation node of a G_DS tree.
+
+    Attributes mirror the paper's annotations: ``affinity`` (Eq. 1),
+    ``max_local`` = max(R_i) and ``mmax_local`` = mmax(R_i) (Section 5.3,
+    filled in by :func:`repro.ranking.store.annotate_gds`), and the selected
+    display ``attributes`` (the θ′ attribute filter of Section 2.1).
+    """
+
+    __slots__ = (
+        "node_id",
+        "label",
+        "table",
+        "join",
+        "parent",
+        "children",
+        "affinity",
+        "depth",
+        "attributes",
+        "max_local",
+        "mmax_local",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        label: str,
+        table: str,
+        join: JoinSpec | None,
+        parent: "GDSNode | None",
+        affinity: float,
+    ) -> None:
+        self.node_id = node_id
+        self.label = label
+        self.table = table
+        self.join = join
+        self.parent = parent
+        self.children: list[GDSNode] = []
+        self.affinity = affinity
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.attributes: list[str] = []
+        self.max_local = 0.0
+        self.mmax_local = 0.0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def walk(self) -> Iterator["GDSNode"]:
+        """Pre-order traversal of this node's subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:
+        return (
+            f"GDSNode({self.label!r}, table={self.table!r}, "
+            f"af={self.affinity:.3f}, depth={self.depth})"
+        )
+
+
+class GDS:
+    """A Data Subject Schema Graph: a labelled tree of :class:`GDSNode`."""
+
+    def __init__(self, root: GDSNode) -> None:
+        self.root = root
+        self._by_label: dict[str, GDSNode] = {}
+        for node in root.walk():
+            if node.label in self._by_label:
+                raise GraphError(f"duplicate G_DS label: {node.label!r}")
+            self._by_label[node.label] = node
+
+    @property
+    def root_table(self) -> str:
+        return self.root.table
+
+    def nodes(self) -> list[GDSNode]:
+        """All nodes in pre-order."""
+        return list(self.root.walk())
+
+    def node(self, label: str) -> GDSNode:
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise GraphError(f"no G_DS node labelled {label!r}") from None
+
+    def has_node(self, label: str) -> bool:
+        return label in self._by_label
+
+    def prune(self, theta: float) -> "GDS":
+        """Return G_DS(θ): the subtree of nodes with affinity >= θ.
+
+        The paper: "Given an affinity threshold θ, a subset of G_DS can be
+        produced, denoted as G_DS(θ)."  The root always survives (affinity 1).
+        Pruning a node prunes its whole subtree (children cannot be connected
+        without their parent).
+        """
+        def clone(node: GDSNode, parent: GDSNode | None, counter: list[int]) -> GDSNode:
+            copy = GDSNode(
+                counter[0], node.label, node.table, node.join, parent, node.affinity
+            )
+            counter[0] += 1
+            copy.attributes = list(node.attributes)
+            copy.max_local = node.max_local
+            copy.mmax_local = node.mmax_local
+            for child in node.children:
+                if child.affinity >= theta:
+                    copy.children.append(clone(child, copy, counter))
+            return copy
+
+        return GDS(clone(self.root, None, [0]))
+
+    def render(self) -> str:
+        """Indented text rendering with affinity annotations (cf. Figure 2)."""
+        lines: list[str] = []
+
+        def visit(node: GDSNode, depth: int) -> None:
+            prefix = "  " * depth
+            lines.append(
+                f"{prefix}{node.label} [{node.table}] "
+                f"(af={node.affinity:.2f}, max={node.max_local:.3f}, "
+                f"mmax={node.mmax_local:.3f})"
+            )
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"GDS(root={self.root.label!r}, nodes={len(self._by_label)})"
+
+
+LabelOverride = Callable[[str, JoinSpec], str]
+
+
+def _raw_label(join: JoinSpec) -> str:
+    """The canonical (pre-uniquification) label for a new G_DS node.
+
+    Override keys are matched against this raw form, so a dataset preset can
+    rename e.g. ``("Paper", "paper_via_citing_id")`` to ``"PaperCites"``
+    regardless of how many other subtrees used similar defaults first.
+    """
+    if isinstance(join, RefJoin):
+        return join.target_table
+    if isinstance(join, ReverseJoin):
+        return join.child_table
+    if join.exclude_origin:
+        return f"co_{join.target_table}"
+    return f"{join.target_table}_via_{join.from_column}"
+
+
+def _uniquify(base: str, used_labels: set[str]) -> str:
+    candidate = base
+    suffix = 2
+    while candidate in used_labels:
+        candidate = f"{base}_{suffix}"
+        suffix += 1
+    return candidate
+
+
+def build_gds(
+    schema_graph: SchemaGraph,
+    root_table: str,
+    affinity_model: "AffinityModel",
+    max_depth: int = 4,
+    label_overrides: dict[tuple[str, str], str] | None = None,
+    attribute_theta: float = 0.5,
+    root_label: str | None = None,
+) -> GDS:
+    """Treealize the schema graph into a G_DS rooted at *root_table*.
+
+    ``label_overrides`` maps ``(parent_label, default_label)`` to a pretty
+    label (the dataset modules use this to match the paper's figure names);
+    ``root_label`` names the root node (defaults to the table name).
+    ``attribute_theta`` is the θ′ attribute-affinity threshold; attributes
+    scoring below it (e.g. TPC-H Comment columns) are excluded from display.
+    """
+    from repro.schema_graph.affinity import select_attributes
+
+    db = schema_graph.db
+    if not db.has_table(root_table):
+        raise GraphError(f"unknown root table for G_DS: {root_table!r}")
+    overrides = label_overrides or {}
+    counter = [0]
+    used_labels: set[str] = set()
+
+    def make_node(
+        label: str, table: str, join: JoinSpec | None, parent: GDSNode | None
+    ) -> GDSNode:
+        if parent is None:
+            affinity = 1.0
+        else:
+            edge_score = affinity_model.edge_score(parent, label, table, join)
+            if not 0.0 <= edge_score <= 1.0:
+                raise GraphError(
+                    f"affinity edge score for {label!r} out of [0,1]: {edge_score}"
+                )
+            affinity = edge_score * parent.affinity
+        node = GDSNode(counter[0], label, table, join, parent, affinity)
+        counter[0] += 1
+        used_labels.add(label)
+        node.attributes = select_attributes(
+            db.table(table).schema, theta_prime=attribute_theta
+        )
+        return node
+
+    def candidate_joins(node: GDSNode) -> list[JoinSpec]:
+        table = node.table
+        arrival = node.join
+        parent_table = node.parent.table if node.parent is not None else None
+        joins: list[JoinSpec] = []
+        # N:1 — FKs owned by this relation.
+        for edge in schema_graph.edges_from(table):
+            if isinstance(arrival, ReverseJoin) and (
+                arrival.child_table == table and arrival.fk_column == edge.column
+            ):
+                continue  # exact reversal of the arrival edge
+            joins.append(RefJoin(fk_column=edge.column, target_table=edge.target))
+        # 1:N and M:N — FKs pointing at this relation.
+        for edge in schema_graph.edges_into(table):
+            if schema_graph.is_junction(edge.owner):
+                for partner in schema_graph.junction_partner_edges(edge.owner, edge):
+                    reverses_arrival = (
+                        isinstance(arrival, JunctionJoin)
+                        and arrival.junction_table == edge.owner
+                        and arrival.to_column == edge.column
+                        and arrival.from_column == partner.column
+                    )
+                    joins.append(
+                        JunctionJoin(
+                            junction_table=edge.owner,
+                            from_column=edge.column,
+                            to_column=partner.column,
+                            target_table=partner.target,
+                            exclude_origin=reverses_arrival,
+                        )
+                    )
+            else:
+                if isinstance(arrival, RefJoin) and (
+                    edge.owner == parent_table and arrival.fk_column == edge.column
+                ):
+                    # We arrived by following exactly this FK from the parent
+                    # relation; do not bounce back along it.
+                    continue
+                joins.append(ReverseJoin(child_table=edge.owner, fk_column=edge.column))
+        return joins
+
+    def expand(node: GDSNode) -> None:
+        if node.depth >= max_depth:
+            return
+        for join in candidate_joins(node):
+            if isinstance(join, ReverseJoin):
+                table = join.child_table
+            else:
+                table = join.target_table
+            raw = _raw_label(join)
+            if (node.label, raw) in overrides:
+                label = overrides[(node.label, raw)]
+                if label in used_labels:
+                    raise GraphError(
+                        f"label override collision: {label!r} already used in this G_DS"
+                    )
+            else:
+                label = _uniquify(raw, used_labels)
+            child = make_node(label, table, join, node)
+            node.children.append(child)
+            expand(child)
+
+    root = make_node(root_label or root_table, root_table, None, None)
+    expand(root)
+    return GDS(root)

@@ -1,0 +1,115 @@
+"""The undirected database schema graph.
+
+Nodes are relations; edges are foreign-key relationships.  Pure junction
+tables (those that exist only to encode an M:N relationship, like DBLP's
+``writes`` and ``cites``) are detected here so the G_DS treealization can fold
+them into single M:N edges, exactly as the paper's G_DS figures hide them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.schema import ForeignKey
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """One FK relationship: ``owner.column`` references ``target`` (its PK)."""
+
+    owner: str
+    column: str
+    target: str
+
+    def other(self, table: str) -> str:
+        """The endpoint opposite *table* (owner vs target)."""
+        if table == self.owner:
+            return self.target
+        if table == self.target:
+            return self.owner
+        raise ValueError(f"table {table!r} is not an endpoint of {self}")
+
+
+class SchemaGraph:
+    """Schema graph over a :class:`~repro.db.database.Database`.
+
+    ``junction_tables`` may be passed explicitly; otherwise a table is
+    auto-detected as a junction when it has exactly two foreign keys, no
+    foreign keys pointing *into* it, and no data columns beyond its primary
+    key and the two FK columns.  (TPC-H's ``partsupp`` carries data and is
+    referenced by ``lineitem``, so it is correctly *not* detected — it appears
+    as a first-class node in the paper's Figure 12.)
+    """
+
+    def __init__(self, db: Database, junction_tables: set[str] | None = None) -> None:
+        self.db = db
+        self.edges: list[SchemaEdge] = [
+            SchemaEdge(owner, fk.column, fk.ref_table)
+            for owner, fk in db.foreign_keys()
+        ]
+        self._by_owner: dict[str, list[SchemaEdge]] = {}
+        self._by_target: dict[str, list[SchemaEdge]] = {}
+        for edge in self.edges:
+            self._by_owner.setdefault(edge.owner, []).append(edge)
+            self._by_target.setdefault(edge.target, []).append(edge)
+        if junction_tables is None:
+            self.junction_tables = {
+                name for name in db.table_names if self._looks_like_junction(name)
+            }
+        else:
+            self.junction_tables = set(junction_tables)
+
+    def _looks_like_junction(self, table_name: str) -> bool:
+        table = self.db.table(table_name)
+        fks: list[ForeignKey] = table.schema.foreign_keys
+        if len(fks) != 2:
+            return False
+        if self._by_target.get(table_name):
+            return False
+        fk_columns = {fk.column for fk in fks}
+        data_columns = {
+            c.name
+            for c in table.schema.columns
+            if c.name != table.schema.primary_key and c.name not in fk_columns
+        }
+        return not data_columns
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+    def edges_from(self, table: str) -> list[SchemaEdge]:
+        """FK edges owned by *table* (N:1 towards their targets)."""
+        return list(self._by_owner.get(table, []))
+
+    def edges_into(self, table: str) -> list[SchemaEdge]:
+        """FK edges pointing at *table* (1:N from *table*'s view)."""
+        return list(self._by_target.get(table, []))
+
+    def degree(self, table: str) -> int:
+        """Number of FK relationships touching *table* (schema connectivity)."""
+        return len(self._by_owner.get(table, [])) + len(self._by_target.get(table, []))
+
+    def is_junction(self, table: str) -> bool:
+        return table in self.junction_tables
+
+    def junction_partner_edges(
+        self, junction: str, arriving_edge: SchemaEdge
+    ) -> list[SchemaEdge]:
+        """The other FK edge(s) of a junction table, given the one matched.
+
+        For a self-loop M:N (DBLP ``cites``: citing → paper, cited → paper)
+        both FKs target the same table; the partner is the *other FK column*,
+        so this is keyed on the FK column, not the target table.
+        """
+        return [
+            edge
+            for edge in self._by_owner.get(junction, [])
+            if edge.column != arriving_edge.column
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaGraph(tables={len(self.db.table_names)}, edges={len(self.edges)}, "
+            f"junctions={sorted(self.junction_tables)})"
+        )

@@ -1,0 +1,15 @@
+"""Keyword-search front end.
+
+A size-l OS keyword query is "(1) a set of keywords and (2) a value for l"
+(Section 3).  This package resolves the keywords to the matching Data
+Subject tuples: an inverted index over the text-searchable attributes of
+the R_DS relations maps each token to the tuples containing it, and a
+conjunctive (AND) match over all keywords yields the t_DS set — one OS per
+match, exactly the paper's Examples 3-5 behaviour for Q1 "Faloutsos".
+"""
+
+from repro.search.tokenizer import tokenize
+from repro.search.inverted_index import InvertedIndex, Posting
+from repro.search.keyword import KeywordSearcher
+
+__all__ = ["tokenize", "InvertedIndex", "Posting", "KeywordSearcher"]

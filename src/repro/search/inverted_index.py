@@ -1,0 +1,76 @@
+"""Inverted index over text-searchable columns of selected tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.search.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One indexed occurrence: token → (table, row)."""
+
+    table: str
+    row_id: int
+
+
+class InvertedIndex:
+    """token → set of (table, row_id) over configured tables' searchable columns.
+
+    Only columns flagged ``text_searchable`` in the schema are indexed (e.g.
+    author names and paper titles in DBLP; customer/supplier names in
+    TPC-H), mirroring how R-KwS systems index text attributes.
+    """
+
+    def __init__(self, db: Database, tables: list[str]) -> None:
+        self.db = db
+        self.tables = list(tables)
+        self._postings: dict[str, set[Posting]] = {}
+        for table_name in self.tables:
+            table = db.table(table_name)
+            searchable = table.schema.searchable_columns()
+            if not searchable:
+                continue
+            col_idxs = [table.schema.column_index(c.name) for c in searchable]
+            for row_id, row in table.scan():
+                for idx in col_idxs:
+                    value = row[idx]
+                    if not value:
+                        continue
+                    for token in tokenize(str(value)):
+                        self._postings.setdefault(token, set()).add(
+                            Posting(table_name, row_id)
+                        )
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def lookup(self, token: str) -> set[Posting]:
+        """Postings for one token (empty set when absent)."""
+        return set(self._postings.get(token.lower(), set()))
+
+    def conjunctive(self, keywords: list[str]) -> set[Posting]:
+        """Tuples containing *all* keywords (each keyword may be multi-token).
+
+        A multi-token keyword (e.g. ``"Christos Faloutsos"``) matches a tuple
+        containing every one of its tokens.  The result is the intersection
+        over keywords — the AND semantics of keyword queries in the paper.
+        """
+        result: set[Posting] | None = None
+        for keyword in keywords:
+            tokens = tokenize(keyword)
+            if not tokens:
+                continue
+            keyword_match: set[Posting] | None = None
+            for token in tokens:
+                postings = self.lookup(token)
+                keyword_match = (
+                    postings if keyword_match is None else keyword_match & postings
+                )
+            if keyword_match is None:
+                keyword_match = set()
+            result = keyword_match if result is None else result & keyword_match
+        return result if result is not None else set()

@@ -1,0 +1,61 @@
+"""Keyword → Data Subject resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.errors import SearchError
+from repro.ranking.store import ImportanceStore
+from repro.search.inverted_index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class DataSubjectMatch:
+    """A t_DS tuple matching the keyword query."""
+
+    table: str
+    row_id: int
+    importance: float
+
+
+class KeywordSearcher:
+    """Finds Data Subject tuples for a keyword query.
+
+    Only the R_DS relations (those with a G_DS — the relations that "hold
+    information about the queried Data Subjects") are searched; matches are
+    returned ranked by global importance, which is how the OS paradigm
+    orders its result list of OSs.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        rds_tables: list[str],
+        store: ImportanceStore,
+    ) -> None:
+        if not rds_tables:
+            raise SearchError("at least one R_DS table is required")
+        self.db = db
+        self.rds_tables = list(rds_tables)
+        self.store = store
+        self.index = InvertedIndex(db, rds_tables)
+
+    def search(self, keywords: list[str] | str) -> list[DataSubjectMatch]:
+        """Resolve keywords to ranked t_DS matches (conjunctive semantics)."""
+        if isinstance(keywords, str):
+            keywords = [keywords]
+        cleaned = [k for k in keywords if k.strip()]
+        if not cleaned:
+            raise SearchError("empty keyword query")
+        postings = self.index.conjunctive(cleaned)
+        matches = [
+            DataSubjectMatch(
+                table=p.table,
+                row_id=p.row_id,
+                importance=self.store.importance(p.table, p.row_id),
+            )
+            for p in postings
+        ]
+        matches.sort(key=lambda m: (-m.importance, m.table, m.row_id))
+        return matches

@@ -1,0 +1,17 @@
+"""Tokenisation for the keyword inverted index."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokens of *text*, in order of appearance.
+
+    Keyword search in the paper matches keywords "as part of an attribute's
+    value"; case-insensitive whole-token matching is the standard
+    interpretation and what DBLP author-name queries need.
+    """
+    return _TOKEN_RE.findall(text.lower())

@@ -1,0 +1,147 @@
+"""Priority-queue helpers used by the size-l algorithms.
+
+Two structures are provided:
+
+:class:`KeyedMinHeap`
+    A min-heap keyed by an arbitrary float score with stable tie-breaking and
+    lazy deletion.  This backs the leaf priority queue of the Bottom-Up
+    Pruning algorithm (Algorithm 2 in the paper), where entries must be
+    removable when a pruned leaf exposes its parent.
+
+:class:`BoundedTopHeap`
+    A bounded min-heap that retains the *k* largest scores seen so far, with
+    O(log k) insertion.  This backs the ``top-l PQ`` of the prelim-l OS
+    generation algorithm (Algorithm 4), whose smallest retained value is the
+    ``largest-l`` threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class KeyedMinHeap(Generic[T]):
+    """Min-heap of (score, item) pairs with stable ordering and lazy deletes.
+
+    Ties on score are broken by insertion order, which makes every algorithm
+    built on top of this heap fully deterministic.  Items must be hashable
+    and unique; re-pushing an existing item raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._live: dict[T, int] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._live
+
+    def push(self, item: T, score: float) -> None:
+        """Insert *item* with *score*; raises ``ValueError`` on duplicates."""
+        if item in self._live:
+            raise ValueError(f"item already in heap: {item!r}")
+        seq = self._counter
+        self._counter += 1
+        self._live[item] = seq
+        heapq.heappush(self._heap, (score, seq, item))
+
+    def discard(self, item: T) -> bool:
+        """Lazily remove *item* if present; returns True when removed."""
+        if item not in self._live:
+            return False
+        del self._live[item]
+        return True
+
+    def _drop_stale(self) -> None:
+        while self._heap:
+            _score, seq, item = self._heap[0]
+            if self._live.get(item) == seq:
+                return
+            heapq.heappop(self._heap)
+
+    def peek(self) -> tuple[T, float]:
+        """Return (item, score) with the smallest score without removing it."""
+        self._drop_stale()
+        if not self._heap:
+            raise IndexError("peek from empty heap")
+        score, _seq, item = self._heap[0]
+        return item, score
+
+    def pop(self) -> tuple[T, float]:
+        """Remove and return (item, score) with the smallest score."""
+        self._drop_stale()
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        score, _seq, item = heapq.heappop(self._heap)
+        del self._live[item]
+        return item, score
+
+    def items(self) -> Iterator[T]:
+        """Iterate over live items in arbitrary order."""
+        return iter(self._live)
+
+
+class BoundedTopHeap(Generic[T]):
+    """Retains the *capacity* items with the largest scores seen so far.
+
+    The structure mirrors the paper's ``top-l PQ``:
+
+    * :meth:`offer` inserts a candidate, evicting the current minimum when
+      the heap is full and the candidate beats it.
+    * :attr:`threshold` is the paper's ``largest-l``: the smallest retained
+      score once the heap is full, and 0.0 before that (Algorithm 4,
+      lines 20-23).
+
+    Ties on score are broken in favour of earlier insertions (later equal
+    scores do not evict earlier ones), keeping behaviour deterministic.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._heap: list[tuple[float, int, T]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self._capacity
+
+    @property
+    def threshold(self) -> float:
+        """The paper's ``largest-l``: min retained score, or 0.0 if not full."""
+        if not self.is_full:
+            return 0.0
+        return self._heap[0][0]
+
+    def offer(self, item: T, score: float) -> bool:
+        """Offer a candidate; returns True when it was retained."""
+        if not self.is_full:
+            seq = self._counter
+            self._counter += 1
+            heapq.heappush(self._heap, (score, seq, item))
+            return True
+        if score <= self._heap[0][0]:
+            return False
+        seq = self._counter
+        self._counter += 1
+        heapq.heapreplace(self._heap, (score, seq, item))
+        return True
+
+    def items(self) -> list[tuple[T, float]]:
+        """Return retained (item, score) pairs sorted by descending score."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1]))
+        return [(item, score) for score, _seq, item in ordered]

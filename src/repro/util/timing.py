@@ -1,0 +1,72 @@
+"""Lightweight timing helpers for the efficiency experiments (Figure 10)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A context-manager stopwatch measuring wall-clock seconds.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            run_algorithm()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named timing phases, mirroring Figure 10(f)'s cost split.
+
+    The paper breaks total cost into "OS generation" (bottom of the bar) and
+    "size-l computation" (top of the bar); this class generalises that to any
+    number of named phases.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* into *phase*."""
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def time(self, phase: str) -> "_PhaseTimer":
+        """Context manager that accumulates its duration into *phase*."""
+        return _PhaseTimer(self, phase)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_row(self) -> dict[str, float]:
+        """Return phases plus a ``total`` entry, for report tables."""
+        row = dict(self.phases)
+        row["total"] = self.total
+        return row
+
+
+class _PhaseTimer:
+    def __init__(self, breakdown: TimingBreakdown, phase: str) -> None:
+        self._breakdown = breakdown
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._breakdown.add(self._phase, time.perf_counter() - self._start)

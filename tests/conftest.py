@@ -1,0 +1,110 @@
+"""Shared fixtures: small datasets, rankings, engines, and tree builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SizeLEngine
+from repro.core.os_tree import ObjectSummary, OSNode
+from repro.datasets.dblp import DBLPDataset, small_dblp
+from repro.datasets.tpch import TPCHDataset, small_tpch
+from repro.ranking.objectrank import compute_objectrank
+from repro.ranking.valuerank import compute_valuerank
+from repro.ranking.store import ImportanceStore
+from repro.schema_graph.gds import GDSNode
+
+
+# --------------------------------------------------------------------- #
+# Datasets (session-scoped: generation is deterministic and reused)
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def dblp() -> DBLPDataset:
+    return small_dblp(seed=7)
+
+
+@pytest.fixture(scope="session")
+def dblp_store(dblp: DBLPDataset) -> ImportanceStore:
+    return compute_objectrank(dblp.db, dblp.ga1())
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp: DBLPDataset, dblp_store: ImportanceStore) -> SizeLEngine:
+    return SizeLEngine(
+        dblp.db,
+        {"author": dblp.author_gds(), "paper": dblp.paper_gds()},
+        dblp_store,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch() -> TPCHDataset:
+    return small_tpch(seed=11)
+
+
+@pytest.fixture(scope="session")
+def tpch_store(tpch: TPCHDataset) -> ImportanceStore:
+    return compute_valuerank(tpch.db, tpch.ga1())
+
+
+@pytest.fixture(scope="session")
+def tpch_engine(tpch: TPCHDataset, tpch_store: ImportanceStore) -> SizeLEngine:
+    return SizeLEngine(
+        tpch.db,
+        {"customer": tpch.customer_gds(), "supplier": tpch.supplier_gds()},
+        tpch_store,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Synthetic OS trees (no database needed) for algorithm tests
+# --------------------------------------------------------------------- #
+def make_tree(structure: dict[int, list[int]], weights: dict[int, float]) -> ObjectSummary:
+    """Build an ObjectSummary from ``parent_uid -> [child_uids]`` + weights.
+
+    uid 0 is the root.  G_DS nodes are synthetic one-per-depth stubs (the
+    algorithms only read weights and shape).
+    """
+    gds_stub = GDSNode(0, "Stub", "stub", None, None, 1.0)
+    nodes: dict[int, OSNode] = {0: OSNode(0, gds_stub, 0, None, weights[0])}
+    pending = [0]
+    while pending:
+        uid = pending.pop()
+        for child_uid in structure.get(uid, []):
+            child = OSNode(child_uid, gds_stub, child_uid, nodes[uid], weights[child_uid])
+            nodes[uid].children.append(child)
+            nodes[child_uid] = child
+            pending.append(child_uid)
+    return ObjectSummary(nodes[0], db=None, kind="complete")
+
+
+@pytest.fixture()
+def chain_tree() -> ObjectSummary:
+    """0 — 1 — 2 — 3 — 4 with increasing weights at depth."""
+    structure = {0: [1], 1: [2], 2: [3], 3: [4]}
+    weights = {0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0, 4: 5.0}
+    return make_tree(structure, weights)
+
+
+@pytest.fixture()
+def star_tree() -> ObjectSummary:
+    """Root with five leaves of distinct weights."""
+    structure = {0: [1, 2, 3, 4, 5]}
+    weights = {0: 10.0, 1: 5.0, 2: 4.0, 3: 3.0, 4: 2.0, 5: 1.0}
+    return make_tree(structure, weights)
+
+
+@pytest.fixture()
+def paper_figure4_tree() -> ObjectSummary:
+    """The Figure 4 example tree (weights from the paper's node labels).
+
+    Structure reconstructed from the DP table in the figure: depth-1
+    children 2..6 of root 1; 3's children 7, 8, 9; 4's children 10, 11;
+    6's child 12; 11's child 13; 12's child 14.
+    """
+    structure = {0: [2, 3, 4, 5, 6], 3: [7, 8, 9], 4: [10, 11], 6: [12], 11: [13], 12: [14]}
+    weights = {
+        0: 30.0, 2: 20.0, 3: 11.0, 4: 31.0, 5: 80.0, 6: 35.0,
+        7: 10.0, 8: 15.0, 9: 5.0, 10: 13.0, 11: 30.0, 12: 12.0,
+        13: 60.0, 14: 40.0,
+    }
+    return make_tree(structure, weights)

@@ -1,0 +1,94 @@
+"""Tests for the optimal-family analysis (Section 7 future work)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    incremental_failure_example,
+    nesting_profile,
+    optimal_family,
+    stability_profile,
+)
+
+from tests.conftest import make_tree
+from tests.test_size_l_algorithms import random_tree
+
+
+class TestOptimalFamily:
+    def test_sizes_grow_with_l(self, paper_figure4_tree) -> None:
+        family = optimal_family(paper_figure4_tree, 8)
+        for l in range(1, 9):  # noqa: E741
+            assert len(family[l]) == min(l, paper_figure4_tree.size)
+
+    def test_every_member_contains_root(self, paper_figure4_tree) -> None:
+        family = optimal_family(paper_figure4_tree, 6)
+        for selected in family.values():
+            assert 0 in selected
+
+    def test_bad_range_rejected(self, star_tree) -> None:
+        with pytest.raises(ValueError):
+            optimal_family(star_tree, max_l=2, min_l=5)
+
+
+class TestNesting:
+    def test_monotone_chain_is_nested(self, chain_tree) -> None:
+        # A chain has a unique connected size-l subtree per l: fully nested.
+        family = optimal_family(chain_tree, 5)
+        profile = nesting_profile(family)
+        assert profile.is_fully_nested
+        assert profile.nested_fraction == 1.0
+
+    def test_nesting_break_is_constructible(self) -> None:
+        """The paper: "optimal size-l OSs for different l could be very
+        different".  Construct the classic witness: at l=2 a rich shallow
+        leaf wins; at l=3 a two-step path to a treasure displaces it."""
+        structure = {0: [1, 2], 2: [3]}
+        weights = {0: 10.0, 1: 5.0, 2: 1.0, 3: 100.0}
+        tree = make_tree(structure, weights)
+        family = optimal_family(tree, 3)
+        assert family[2] == {0, 1}
+        assert family[3] == {0, 2, 3}
+        profile = nesting_profile(family)
+        assert profile.breaks == [3]
+        witness = incremental_failure_example(tree, 3)
+        assert witness is not None and witness[0] == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_tree(max_nodes=12))
+    def test_profile_consistency(self, tree) -> None:
+        family = optimal_family(tree, 6)
+        profile = nesting_profile(family)
+        assert 0.0 <= profile.nested_fraction <= 1.0
+        assert profile.is_fully_nested == (profile.breaks == [])
+
+
+class TestStability:
+    def test_jaccard_bounds(self, paper_figure4_tree) -> None:
+        family = optimal_family(paper_figure4_tree, 8)
+        profile = stability_profile(family)
+        for row in profile.rows:
+            assert 0.0 < row.jaccard <= 1.0
+            assert row.carried_over + row.replaced == row.l - 1
+
+    def test_core_and_union(self, paper_figure4_tree) -> None:
+        family = optimal_family(paper_figure4_tree, 6)
+        profile = stability_profile(family)
+        assert profile.core_size >= 1  # the root is always shared
+        assert profile.union_size <= paper_figure4_tree.size
+        assert profile.union_size >= max(len(s) for s in family.values())
+
+    def test_mean_jaccard_high_on_real_os(self, dblp_engine) -> None:
+        """The empirical Section-7 finding: consecutive optima overlap
+        heavily (which is what would make pre-computation caches useful)."""
+        tree = dblp_engine.complete_os("author", 0)
+        family = optimal_family(tree, 15)
+        profile = stability_profile(family)
+        assert profile.mean_jaccard > 0.6
+
+    def test_empty_family(self) -> None:
+        profile = stability_profile({})
+        assert profile.mean_jaccard == 1.0
+        assert profile.core_size == 0 and profile.union_size == 0

@@ -1,0 +1,94 @@
+"""Tests for the summary cache (Section 7 pre-computation direction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import SummaryCache
+from repro.errors import SummaryError
+
+
+class TestCompleteOSCache:
+    def test_second_fetch_is_a_hit_and_same_object(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        first = cache.complete_os("author", 1)
+        second = cache.complete_os("author", 1)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "cached_subjects": 1}
+
+    def test_lru_eviction(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=2)
+        a = cache.complete_os("author", 1)
+        cache.complete_os("author", 2)
+        cache.complete_os("author", 3)  # evicts subject 1
+        assert cache.cached_subjects == 2
+        again = cache.complete_os("author", 1)
+        assert again is not a  # regenerated after eviction
+
+    def test_touch_refreshes_lru_order(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=2)
+        a = cache.complete_os("author", 1)
+        cache.complete_os("author", 2)
+        cache.complete_os("author", 1)  # touch 1: now 2 is the LRU entry
+        cache.complete_os("author", 3)  # evicts 2, keeps 1
+        assert cache.complete_os("author", 1) is a
+
+    def test_bad_capacity(self, dblp_engine) -> None:
+        with pytest.raises(ValueError):
+            SummaryCache(dblp_engine, max_subjects=0)
+
+
+class TestSizeLMemo:
+    def test_memoised_result_identical(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        first = cache.size_l("author", 1, 10)
+        second = cache.size_l("author", 1, 10)
+        assert first is second
+
+    def test_results_match_engine(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cached = cache.size_l("author", 1, 10, algorithm="dp")
+        direct = dblp_engine.size_l("author", 1, 10, algorithm="dp")
+        assert cached.selected_uids == direct.selected_uids
+        assert cached.importance == pytest.approx(direct.importance)
+
+    def test_distinct_l_and_algorithms_cached_separately(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        a = cache.size_l("author", 1, 5)
+        b = cache.size_l("author", 1, 10)
+        c = cache.size_l("author", 1, 5, algorithm="bottom_up")
+        assert a is not b and a is not c
+
+    def test_unknown_algorithm(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        with pytest.raises(SummaryError):
+            cache.size_l("author", 1, 5, algorithm="magic")
+
+    def test_eviction_drops_memoised_results(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=1)
+        first = cache.size_l("author", 1, 5)
+        cache.size_l("author", 2, 5)  # evicts subject 1 with its results
+        again = cache.size_l("author", 1, 5)
+        assert again is not first
+
+
+class TestInvalidation:
+    def test_invalidate_all(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os("author", 1)
+        cache.invalidate()
+        assert cache.cached_subjects == 0
+
+    def test_invalidate_one_subject(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os("author", 1)
+        cache.complete_os("author", 2)
+        cache.invalidate("author", 1)
+        assert cache.cached_subjects == 1
+
+    def test_invalidate_table(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os("author", 1)
+        cache.complete_os("paper", 1)
+        cache.invalidate("author")
+        assert cache.cached_subjects == 1

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_query_defaults(self) -> None:
+        args = build_parser().parse_args(["query", "--keywords", "Faloutsos"])
+        assert args.database == "dblp"
+        assert args.l == 10
+        assert args.source == "prelim"
+
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_database_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--database", "oracle", "--keywords", "x"])
+
+
+class TestCommands:
+    def test_query_dblp(self, capsys) -> None:
+        code = main(
+            ["--scale", "0.2", "query", "--keywords", "Faloutsos", "--l", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result 1" in out
+        assert "Author: Christos Faloutsos" in out
+
+    def test_query_no_match(self, capsys) -> None:
+        code = main(
+            ["--scale", "0.2", "query", "--keywords", "zzznothing", "--l", "5"]
+        )
+        assert code == 1
+        assert "no matching" in capsys.readouterr().out
+
+    def test_query_tpch(self, capsys) -> None:
+        code = main(
+            [
+                "--scale", "0.4",
+                "query",
+                "--database", "tpch",
+                "--keywords", "Supplier#000001",
+                "--l", "6",
+                "--algorithm", "bottom_up",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Supplier" in out
+
+    def test_gds_command(self, capsys) -> None:
+        code = main(["--scale", "0.2", "gds", "--subject", "author"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Paper" in out and "Co_Author" in out
+
+    def test_analyze_command(self, capsys) -> None:
+        code = main(
+            [
+                "--scale", "0.2",
+                "analyze",
+                "--subject", "author",
+                "--keywords", "Christos", "Faloutsos",
+                "--max-l", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal family" in out
+        assert "Jaccard" in out

@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dblp import DBLPConfig, generate_dblp, small_dblp
+from repro.datasets.tpch import TPCHConfig, generate_tpch, small_tpch
+from repro.errors import DatasetError
+
+
+class TestDBLPGenerator:
+    def test_deterministic_under_seed(self) -> None:
+        a = small_dblp(seed=3)
+        b = small_dblp(seed=3)
+        assert a.db.total_rows == b.db.total_rows
+        for table in a.db.table_names:
+            ta, tb = a.db.table(table), b.db.table(table)
+            assert [r for _i, r in ta.scan()] == [r for _i, r in tb.scan()]
+
+    def test_different_seeds_differ(self) -> None:
+        a = small_dblp(seed=3)
+        b = small_dblp(seed=4)
+        papers_a = [r for _i, r in a.db.table("cites").scan()]
+        papers_b = [r for _i, r in b.db.table("cites").scan()]
+        assert papers_a != papers_b
+
+    def test_referential_integrity(self, dblp) -> None:
+        dblp.db.validate_integrity()
+
+    def test_family_present_with_expected_ids(self, dblp) -> None:
+        author = dblp.db.table("author")
+        names = [author.value(author.row_id_for_pk(pk), "name") for pk in (0, 1, 2)]
+        assert names == [
+            "Christos Faloutsos",
+            "Michalis Faloutsos",
+            "Petros Faloutsos",
+        ]
+        assert dblp.family_author_ids == [0, 1, 2]
+
+    def test_joint_paper_exists(self, dblp) -> None:
+        writes = dblp.db.table("writes")
+        authors_of_paper0 = {
+            row[writes.schema.column_index("author_id")]
+            for _rid, row in writes.scan()
+            if row[writes.schema.column_index("paper_id")] == 0
+        }
+        assert {0, 1, 2} <= authors_of_paper0
+
+    def test_every_paper_has_an_author(self, dblp) -> None:
+        writes = dblp.db.table("writes")
+        papers_with_authors = {
+            row[writes.schema.column_index("paper_id")] for _rid, row in writes.scan()
+        }
+        assert papers_with_authors == set(range(dblp.config.n_papers))
+
+    def test_citation_skew_is_power_law_like(self) -> None:
+        data = generate_dblp(DBLPConfig(n_authors=100, n_papers=300, seed=5))
+        cites = data.db.table("cites")
+        col = cites.schema.column_index("cited_id")
+        counts = np.zeros(300)
+        for _rid, row in cites.scan():
+            counts[row[col]] += 1
+        top_decile = np.sort(counts)[-30:].sum()
+        assert top_decile / max(1, counts.sum()) > 0.3  # heavy head
+
+    def test_no_self_citations_or_duplicates(self, dblp) -> None:
+        cites = dblp.db.table("cites")
+        citing_idx = cites.schema.column_index("citing_id")
+        cited_idx = cites.schema.column_index("cited_id")
+        seen = set()
+        for _rid, row in cites.scan():
+            edge = (row[citing_idx], row[cited_idx])
+            assert edge[0] != edge[1]
+            assert edge not in seen
+            seen.add(edge)
+
+    def test_validation_errors(self) -> None:
+        with pytest.raises(DatasetError):
+            generate_dblp(DBLPConfig(n_authors=2, include_faloutsos_family=True))
+        with pytest.raises(DatasetError):
+            generate_dblp(DBLPConfig(year_range=(2011, 1980)))
+
+    def test_author_lookup_by_name(self, dblp) -> None:
+        assert dblp.author_id_by_name("Christos Faloutsos") == 0
+        with pytest.raises(DatasetError):
+            dblp.author_id_by_name("Nobody")
+
+
+class TestTPCHGenerator:
+    def test_deterministic_under_seed(self) -> None:
+        a = small_tpch(seed=9)
+        b = small_tpch(seed=9)
+        for table in a.db.table_names:
+            ta, tb = a.db.table(table), b.db.table(table)
+            assert [r for _i, r in ta.scan()] == [r for _i, r in tb.scan()]
+
+    def test_referential_integrity(self, tpch) -> None:
+        tpch.db.validate_integrity()
+
+    def test_reference_data_sizes(self, tpch) -> None:
+        assert len(tpch.db.table("region")) == 5
+        assert len(tpch.db.table("nation")) == 25
+
+    def test_scale_factor_ratios(self) -> None:
+        data = generate_tpch(TPCHConfig(scale_factor=0.002, seed=1))
+        db = data.db
+        assert len(db.table("orders")) == 3000
+        assert len(db.table("lineitem")) == 12000
+        assert len(db.table("customer")) == 300
+        # TPC-H ratios: 10 orders/customer, 4 lineitems/order.
+        assert len(db.table("orders")) / len(db.table("customer")) == pytest.approx(10.0)
+        assert len(db.table("lineitem")) / len(db.table("orders")) == pytest.approx(4.0)
+
+    def test_totalprice_derived_from_lineitems(self, tpch) -> None:
+        db = tpch.db
+        orders = db.table("orders")
+        lineitem = db.table("lineitem")
+        li_order = lineitem.schema.column_index("order_id")
+        li_price = lineitem.schema.column_index("extendedprice")
+        li_disc = lineitem.schema.column_index("discount")
+        totals: dict[int, float] = {}
+        for _rid, row in lineitem.scan():
+            totals[row[li_order]] = totals.get(row[li_order], 0.0) + row[li_price] * (
+                1.0 - row[li_disc]
+            )
+        checked = 0
+        for rid, row in orders.scan():
+            pk = orders.pk_of_row(rid)
+            if pk in totals:
+                assert orders.value(rid, "totalprice") == pytest.approx(
+                    totals[pk], rel=1e-2
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_partsupp_pairs_unique(self, tpch) -> None:
+        ps = tpch.db.table("partsupp")
+        part_idx = ps.schema.column_index("part_id")
+        supp_idx = ps.schema.column_index("supp_id")
+        pairs = [(row[part_idx], row[supp_idx]) for _rid, row in ps.scan()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_bad_scale_factor_rejected(self) -> None:
+        with pytest.raises(DatasetError):
+            generate_tpch(TPCHConfig(scale_factor=0.0))

@@ -1,0 +1,73 @@
+"""CSV round-trip tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.db.csvio import export_database, export_table, import_database, import_table
+from repro.db.database import Database
+from repro.db.schema import Column, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+def _make_db() -> Database:
+    db = Database("csv")
+    db.create_table(
+        TableSchema(
+            "sample",
+            [
+                Column("id", ColumnType.INT),
+                Column("label", ColumnType.TEXT, nullable=True),
+                Column("score", ColumnType.FLOAT, nullable=True),
+                Column("flag", ColumnType.BOOL, nullable=True),
+            ],
+            primary_key="id",
+        )
+    )
+    return db
+
+
+def test_round_trip_preserves_values_and_nulls(tmp_path: Path) -> None:
+    db = _make_db()
+    db.insert("sample", [1, "alpha", 1.25, True])
+    db.insert("sample", [2, None, None, None])
+    path = tmp_path / "sample.csv"
+    assert export_table(db.table("sample"), path) == 2
+
+    fresh = _make_db()
+    assert import_table(fresh.table("sample"), path) == 2
+    assert fresh.table("sample").row(0) == (1, "alpha", 1.25, True)
+    assert fresh.table("sample").row(1) == (2, None, None, None)
+
+
+def test_import_rejects_wrong_header(tmp_path: Path) -> None:
+    path = tmp_path / "bad.csv"
+    path.write_text("wrong,header\n1,2\n", encoding="utf-8")
+    with pytest.raises(SchemaError):
+        import_table(_make_db().table("sample"), path)
+
+
+def test_import_rejects_empty_file(tmp_path: Path) -> None:
+    path = tmp_path / "empty.csv"
+    path.write_text("", encoding="utf-8")
+    with pytest.raises(SchemaError):
+        import_table(_make_db().table("sample"), path)
+
+
+def test_export_import_database(tmp_path: Path) -> None:
+    db = _make_db()
+    db.insert("sample", [1, "x", 0.5, False])
+    counts = export_database(db, tmp_path)
+    assert counts == {"sample": 1}
+
+    fresh = _make_db()
+    assert import_database(fresh, tmp_path) == {"sample": 1}
+    assert fresh.table("sample").row(0) == (1, "x", 0.5, False)
+
+
+def test_import_database_skips_missing_files(tmp_path: Path) -> None:
+    fresh = _make_db()
+    assert import_database(fresh, tmp_path) == {}

@@ -1,0 +1,166 @@
+"""Tests for the database catalog, integrity checks, and the query layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import QueryInterface
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError, UnknownTableError
+
+
+def _db() -> Database:
+    db = Database("test")
+    db.create_table(
+        TableSchema(
+            "team",
+            [Column("team_id", ColumnType.INT), Column("name", ColumnType.TEXT)],
+            primary_key="team_id",
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "person",
+            [
+                Column("person_id", ColumnType.INT),
+                Column("name", ColumnType.TEXT),
+                Column("team_id", ColumnType.INT, nullable=True),
+                Column("score", ColumnType.FLOAT),
+            ],
+            primary_key="person_id",
+            foreign_keys=[ForeignKey("team_id", "team", "team_id")],
+        )
+    )
+    db.insert_many("team", [[1, "red"], [2, "blue"]])
+    db.insert_many(
+        "person",
+        [
+            [1, "ann", 1, 9.0],
+            [2, "bob", 1, 5.0],
+            [3, "cid", 2, 7.0],
+            [4, "dot", None, 3.0],
+        ],
+    )
+    return db
+
+
+class TestDatabase:
+    def test_unknown_table_raises(self) -> None:
+        with pytest.raises(UnknownTableError):
+            _db().table("nope")
+
+    def test_duplicate_table_rejected(self) -> None:
+        db = _db()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema("team", [Column("x", ColumnType.INT)], primary_key="x")
+            )
+
+    def test_fk_to_unknown_table_rejected(self) -> None:
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema(
+                    "child",
+                    [Column("id", ColumnType.INT), Column("p", ColumnType.INT)],
+                    primary_key="id",
+                    foreign_keys=[ForeignKey("p", "parent", "id")],
+                )
+            )
+
+    def test_self_referencing_fk_allowed(self) -> None:
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "node",
+                [
+                    Column("id", ColumnType.INT),
+                    Column("parent", ColumnType.INT, nullable=True),
+                ],
+                primary_key="id",
+                foreign_keys=[ForeignKey("parent", "node", "id")],
+            )
+        )
+        db.insert("node", [1, None])
+        db.insert("node", [2, 1])
+        db.validate_integrity()
+
+    def test_foreign_keys_into(self) -> None:
+        db = _db()
+        into_team = db.foreign_keys_into("team")
+        assert [(owner, fk.column) for owner, fk in into_team] == [("person", "team_id")]
+
+    def test_integrity_passes_on_valid_data(self) -> None:
+        _db().validate_integrity()
+
+    def test_integrity_catches_dangling_fk(self) -> None:
+        db = _db()
+        db.insert("person", [9, "zed", 99, 1.0])
+        with pytest.raises(IntegrityError, match="dangling"):
+            db.validate_integrity()
+
+    def test_integrity_null_fk_allowed(self) -> None:
+        db = _db()
+        db.validate_integrity()  # person "dot" has NULL team_id
+
+    def test_total_rows(self) -> None:
+        assert _db().total_rows == 6
+
+    def test_index_on_is_cached(self) -> None:
+        db = _db()
+        first = db.index_on("person", "team_id")
+        assert db.index_on("person", "team_id") is first
+
+    def test_ensure_fk_indexes(self) -> None:
+        db = _db()
+        db.ensure_fk_indexes()
+        assert db.index_on("person", "team_id").lookup(1) == [0, 1]
+
+
+class TestQueryInterface:
+    def test_select_where_eq(self) -> None:
+        qi = QueryInterface(_db())
+        assert qi.select_where_eq("person", "team_id", 1) == [0, 1]
+        assert qi.select_where_eq("person", "team_id", 99) == []
+        assert qi.io_accesses == 2  # empty results still cost one access
+
+    def test_select_top_where_eq_orders_and_limits(self) -> None:
+        db = _db()
+        qi = QueryInterface(db)
+        person = db.table("person")
+
+        def score(table: str, row_id: int) -> float:
+            return float(person.value(row_id, "score"))
+
+        top = qi.select_top_where_eq("person", "team_id", 1, score, threshold=0.0, limit=1)
+        assert top == [0]  # ann (9.0) beats bob (5.0)
+
+    def test_select_top_threshold_is_strict(self) -> None:
+        db = _db()
+        qi = QueryInterface(db)
+        person = db.table("person")
+
+        def score(table: str, row_id: int) -> float:
+            return float(person.value(row_id, "score"))
+
+        top = qi.select_top_where_eq("person", "team_id", 1, score, threshold=9.0, limit=5)
+        assert top == []  # 9.0 is not > 9.0
+        assert qi.io_accesses == 1  # Avoidance Condition 2's cost behaviour
+
+    def test_lookup_by_pk(self) -> None:
+        qi = QueryInterface(_db())
+        assert qi.lookup_by_pk("team", 2) == [1]
+        assert qi.lookup_by_pk("team", 42) == []
+
+    def test_reset_counters(self) -> None:
+        qi = QueryInterface(_db())
+        qi.select_where_eq("person", "team_id", 1)
+        qi.reset_counters()
+        assert qi.io_accesses == 0 and qi.rows_fetched == 0
+
+    def test_project(self) -> None:
+        qi = QueryInterface(_db())
+        rows = qi.project("person", [0, 2], ["name", "score"])
+        assert rows == [("ann", 9.0), ("cid", 7.0)]

@@ -1,0 +1,125 @@
+"""Tests for row storage and hash indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.index import HashIndex
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError
+
+
+def _table() -> Table:
+    return Table(
+        TableSchema(
+            "item",
+            [
+                Column("item_id", ColumnType.INT),
+                Column("label", ColumnType.TEXT),
+                Column("bucket", ColumnType.INT, nullable=True),
+            ],
+            primary_key="item_id",
+        )
+    )
+
+
+class TestTable:
+    def test_insert_by_mapping_and_sequence(self) -> None:
+        table = _table()
+        rid0 = table.insert({"item_id": 1, "label": "a", "bucket": 10})
+        rid1 = table.insert([2, "b", None])
+        assert (rid0, rid1) == (0, 1)
+        assert table.row(0) == (1, "a", 10)
+        assert table.row(1) == (2, "b", None)
+
+    def test_duplicate_pk_rejected(self) -> None:
+        table = _table()
+        table.insert([1, "a", None])
+        with pytest.raises(IntegrityError):
+            table.insert([1, "b", None])
+
+    def test_unknown_column_in_mapping_rejected(self) -> None:
+        table = _table()
+        with pytest.raises(IntegrityError):
+            table.insert({"item_id": 1, "label": "a", "oops": 1})
+
+    def test_wrong_arity_rejected(self) -> None:
+        table = _table()
+        with pytest.raises(IntegrityError):
+            table.insert([1, "a"])
+
+    def test_missing_mapping_value_defaults_to_null(self) -> None:
+        table = _table()
+        table.insert({"item_id": 1, "label": "a"})  # bucket nullable
+        assert table.value(0, "bucket") is None
+        with pytest.raises(IntegrityError):
+            table.insert({"item_id": 2})  # label is not nullable
+
+    def test_pk_lookup(self) -> None:
+        table = _table()
+        table.insert([5, "x", None])
+        assert table.row_id_for_pk(5) == 0
+        assert table.pk_of_row(0) == 5
+        assert table.has_pk(5) and not table.has_pk(6)
+
+    def test_scan_in_insertion_order(self) -> None:
+        table = _table()
+        for i in range(5):
+            table.insert([i, f"r{i}", None])
+        assert [rid for rid, _row in table.scan()] == list(range(5))
+
+    def test_row_as_dict(self) -> None:
+        table = _table()
+        table.insert([1, "a", 2])
+        assert table.row_as_dict(0) == {"item_id": 1, "label": "a", "bucket": 2}
+
+
+class TestHashIndex:
+    def test_lookup_matches_scan(self) -> None:
+        table = _table()
+        for i in range(20):
+            table.insert([i, "even" if i % 2 == 0 else "odd", i % 3])
+        index = HashIndex(table, "label")
+        expected = [rid for rid, row in table.scan() if row[1] == "even"]
+        assert index.lookup("even") == expected
+
+    def test_nulls_not_indexed(self) -> None:
+        table = _table()
+        table.insert([1, "a", None])
+        index = HashIndex(table, "bucket")
+        assert index.lookup(None) == []
+        assert index.distinct_values() == 0
+
+    def test_index_maintained_on_insert(self) -> None:
+        table = _table()
+        table.insert([1, "a", 7])
+        index = HashIndex(table, "bucket")
+        table.insert([2, "b", 7])
+        assert index.lookup(7) == [0, 1]
+        assert index.fan_out(7) == 2
+
+    def test_average_fan_out(self) -> None:
+        table = _table()
+        table.insert([1, "a", 1])
+        table.insert([2, "b", 1])
+        table.insert([3, "c", 2])
+        index = HashIndex(table, "bucket")
+        assert index.average_fan_out() == pytest.approx(1.5)
+
+    def test_average_fan_out_empty(self) -> None:
+        index = HashIndex(_table(), "bucket")
+        assert index.average_fan_out() == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=100))
+    def test_property_lookup_equals_filter(self, buckets: list[int]) -> None:
+        table = _table()
+        for i, bucket in enumerate(buckets):
+            table.insert([i, "r", bucket])
+        index = HashIndex(table, "bucket")
+        for value in set(buckets):
+            expected = [rid for rid, row in table.scan() if row[2] == value]
+            assert index.lookup(value) == expected

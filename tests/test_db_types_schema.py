@@ -1,0 +1,134 @@
+"""Tests for column types, validation, and schema objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class TestColumnType:
+    def test_int_accepts_int(self) -> None:
+        assert ColumnType.INT.validate(5, nullable=False) == 5
+
+    def test_int_rejects_bool(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.validate(True, nullable=False)
+
+    def test_int_rejects_float(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.validate(1.5, nullable=False)
+
+    def test_float_widens_int(self) -> None:
+        value = ColumnType.FLOAT.validate(3, nullable=False)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.FLOAT.validate(False, nullable=False)
+
+    def test_text_rejects_numbers(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.TEXT.validate(42, nullable=False)
+
+    def test_bool_rejects_int(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.BOOL.validate(1, nullable=False)
+
+    def test_null_requires_nullable(self) -> None:
+        assert ColumnType.TEXT.validate(None, nullable=True) is None
+        with pytest.raises(TypeMismatchError):
+            ColumnType.TEXT.validate(None, nullable=False)
+
+    @pytest.mark.parametrize(
+        ("col_type", "text", "expected"),
+        [
+            (ColumnType.INT, "12", 12),
+            (ColumnType.FLOAT, "1.5", 1.5),
+            (ColumnType.TEXT, "abc", "abc"),
+            (ColumnType.BOOL, "true", True),
+            (ColumnType.BOOL, "0", False),
+            (ColumnType.INT, "", None),
+        ],
+    )
+    def test_parse_text(self, col_type: ColumnType, text: str, expected: object) -> None:
+        assert col_type.parse_text(text) == expected
+
+    def test_parse_text_bad_bool(self) -> None:
+        with pytest.raises(TypeMismatchError):
+            ColumnType.BOOL.parse_text("maybe")
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            Column("has space", ColumnType.TEXT)
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.TEXT)
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "person",
+        [
+            Column("person_id", ColumnType.INT),
+            Column("name", ColumnType.TEXT, text_searchable=True),
+            Column("team_id", ColumnType.INT, nullable=True),
+            Column("comment", ColumnType.TEXT, nullable=True, display=False),
+        ],
+        primary_key="person_id",
+        foreign_keys=[ForeignKey("team_id", "team", "team_id")],
+    )
+
+
+class TestTableSchema:
+    def test_column_index_lookup(self) -> None:
+        schema = _schema()
+        assert schema.column_index("name") == 1
+        with pytest.raises(UnknownColumnError):
+            schema.column_index("missing")
+
+    def test_duplicate_columns_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INT), Column("a", ColumnType.INT)],
+                primary_key="a",
+            )
+
+    def test_unknown_pk_rejected(self) -> None:
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [Column("a", ColumnType.INT)], primary_key="b")
+
+    def test_nullable_pk_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", [Column("a", ColumnType.INT, nullable=True)], primary_key="a"
+            )
+
+    def test_unknown_fk_column_rejected(self) -> None:
+        with pytest.raises(UnknownColumnError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INT)],
+                primary_key="a",
+                foreign_keys=[ForeignKey("missing", "other", "id")],
+            )
+
+    def test_invalid_table_name_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", [Column("a", ColumnType.INT)], primary_key="a")
+
+    def test_display_columns_exclude_keys_and_hidden(self) -> None:
+        schema = _schema()
+        names = [c.name for c in schema.display_columns()]
+        # PK, FK columns and display=False columns are structural, not content.
+        assert names == ["name"]
+
+    def test_searchable_columns(self) -> None:
+        assert [c.name for c in _schema().searchable_columns()] == ["name"]
+
+    def test_pk_index(self) -> None:
+        assert _schema().pk_index == 0

@@ -1,0 +1,192 @@
+"""Tests for G_DS treealization — structure, affinities, θ pruning.
+
+These tests pin the library's G_DS output to the paper's Figures 2 and 12.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dblp import AUTHOR_GDS_AFFINITIES, DBLPDataset
+from repro.datasets.tpch import CUSTOMER_GDS_AFFINITIES, TPCHDataset
+from repro.errors import GraphError
+from repro.schema_graph.affinity import (
+    ComputedAffinityModel,
+    attribute_affinity,
+    select_attributes,
+)
+from repro.schema_graph.gds import JunctionJoin, RefJoin, build_gds
+from repro.schema_graph.graph import SchemaGraph
+
+
+class TestAuthorGDS:
+    """The DBLP Author G_DS must match Figure 2 exactly after θ=0.7."""
+
+    @pytest.fixture()
+    def gds(self, dblp: DBLPDataset):
+        return dblp.author_gds().prune(0.7)
+
+    def test_node_labels_match_figure_2(self, gds) -> None:
+        assert {n.label for n in gds.nodes()} == {
+            "Author",
+            "Paper",
+            "Co_Author",
+            "PaperCites",
+            "PaperCitedBy",
+            "Year",
+            "Conference",
+        }
+
+    def test_affinities_match_figure_2(self, gds) -> None:
+        for label, expected in AUTHOR_GDS_AFFINITIES.items():
+            assert gds.node(label).affinity == pytest.approx(expected, abs=1e-9)
+
+    def test_tree_shape(self, gds) -> None:
+        paper = gds.node("Paper")
+        assert paper.parent is gds.root
+        assert {c.label for c in paper.children} == {
+            "Co_Author",
+            "PaperCites",
+            "PaperCitedBy",
+            "Year",
+        }
+        assert [c.label for c in gds.node("Year").children] == ["Conference"]
+        assert gds.node("Conference").children == []
+
+    def test_join_kinds(self, gds) -> None:
+        assert isinstance(gds.node("Paper").join, JunctionJoin)
+        assert isinstance(gds.node("Year").join, RefJoin)
+        co_author = gds.node("Co_Author").join
+        assert isinstance(co_author, JunctionJoin)
+        assert co_author.exclude_origin  # the co-author rule
+        cites = gds.node("PaperCites").join
+        assert isinstance(cites, JunctionJoin)
+        assert not cites.exclude_origin
+        assert cites.from_column != gds.node("PaperCitedBy").join.from_column
+
+    def test_depths(self, gds) -> None:
+        assert gds.root.depth == 0
+        assert gds.node("Paper").depth == 1
+        assert gds.node("Co_Author").depth == 2
+        assert gds.node("Conference").depth == 3
+
+    def test_affinity_decreases_along_paths(self, dblp: DBLPDataset) -> None:
+        # Eq. 1: Af is a product of factors <= 1, so children never exceed
+        # their parent (on the unpruned G_DS too).
+        for node in dblp.author_gds().nodes():
+            if node.parent is not None:
+                assert node.affinity <= node.parent.affinity + 1e-12
+
+
+class TestCustomerGDS:
+    """The TPC-H Customer G_DS(0.7) must keep exactly the Figure-12 set."""
+
+    def test_theta_cut_matches_paper(self, tpch: TPCHDataset) -> None:
+        gds = tpch.customer_gds().prune(0.7)
+        labels = {n.label for n in gds.nodes()}
+        # "Customer G_DS(0.7) includes only Customer, Nation, Region, Order,
+        #  Lineitem and Partsupp relations" (Section 2.1).
+        assert labels == {"Customer", "Nation", "Region", "Order", "Lineitem", "Partsupp"}
+
+    def test_replicated_branches_exist_before_pruning(self, tpch: TPCHDataset) -> None:
+        gds = tpch.customer_gds()
+        labels = {n.label for n in gds.nodes()}
+        # Figure 12's replicated low-affinity branches are present pre-θ.
+        assert "SupplierOfNation" in labels
+        assert "Supplier" in labels  # under Partsupp
+        assert "Parts" in labels
+
+    def test_affinities_match_figure_12(self, tpch: TPCHDataset) -> None:
+        gds = tpch.customer_gds()
+        for label in ("Nation", "Region", "Order", "Lineitem", "Partsupp", "SupplierOfNation"):
+            assert gds.node(label).affinity == pytest.approx(
+                CUSTOMER_GDS_AFFINITIES[label], abs=1e-9
+            )
+
+    def test_no_bounce_back_to_customer(self, tpch: TPCHDataset) -> None:
+        gds = tpch.customer_gds()
+        nation = gds.node("Nation")
+        # Nation (reached from Customer) must not expand back into Customer.
+        assert all(c.table != "customer" for c in nation.children)
+        order = gds.node("Order")
+        assert all(c.table != "customer" for c in order.children)
+
+
+class TestSupplierGDS:
+    def test_theta_cut(self, tpch: TPCHDataset) -> None:
+        gds = tpch.supplier_gds().prune(0.7)
+        labels = {n.label for n in gds.nodes()}
+        assert labels == {
+            "Supplier",
+            "Nation",
+            "Region",
+            "Partsupp",
+            "Parts",
+            "Lineitem",
+            "Order",
+        }
+
+
+class TestPruneSemantics:
+    def test_prune_keeps_root_and_cascades(self, dblp: DBLPDataset) -> None:
+        gds = dblp.author_gds()
+        hard = gds.prune(0.99)
+        assert [n.label for n in hard.nodes()] == ["Author"]
+
+    def test_prune_is_a_copy(self, dblp: DBLPDataset) -> None:
+        gds = dblp.author_gds()
+        pruned = gds.prune(0.7)
+        assert pruned.root is not gds.root
+        assert len(pruned.nodes()) < len(gds.nodes())
+
+    def test_duplicate_label_override_rejected(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        model = ComputedAffinityModel(graph)
+        with pytest.raises(GraphError):
+            build_gds(
+                graph,
+                "author",
+                model,
+                max_depth=2,
+                label_overrides={("author", "paper_via_author_id"): "author"},
+            )
+
+    def test_unknown_root_rejected(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        model = ComputedAffinityModel(graph)
+        with pytest.raises(GraphError):
+            build_gds(graph, "nonexistent", model)
+
+
+class TestComputedAffinity:
+    def test_scores_in_unit_interval(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        model = ComputedAffinityModel(graph)
+        gds = build_gds(graph, "author", model, max_depth=3)
+        for node in gds.nodes():
+            assert 0.0 <= node.affinity <= 1.0
+
+    def test_bad_weights_rejected(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        with pytest.raises(GraphError):
+            ComputedAffinityModel(graph, weights=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_decay_rejected(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        with pytest.raises(GraphError):
+            ComputedAffinityModel(graph, decay=0.0)
+
+
+class TestAttributeSelection:
+    def test_comment_columns_score_low(self) -> None:
+        assert attribute_affinity("comment") < 0.5 < attribute_affinity("name")
+
+    def test_partsupp_comment_excluded(self, tpch: TPCHDataset) -> None:
+        # The paper's example: "Comment is excluded from Partsupp relation".
+        selected = select_attributes(tpch.db.table("partsupp").schema)
+        assert "comment" not in selected
+        assert "supplycost" in selected
+
+    def test_gds_nodes_carry_attributes(self, tpch: TPCHDataset) -> None:
+        gds = tpch.customer_gds().prune(0.7)
+        assert "comment" not in gds.node("Partsupp").attributes

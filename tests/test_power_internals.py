@@ -1,0 +1,163 @@
+"""Unit tests for the transfer-matrix internals: shares, value weighting,
+source scaling — the machinery behind ObjectRank and ValueRank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import Column, ColumnType, Database, ForeignKey, TableSchema
+from repro.ranking.authority import (
+    AuthorityRelationship,
+    AuthorityTransferGraph,
+    ValueFunction,
+    receiver_weights,
+    source_scalers,
+)
+from repro.ranking.power import NodeNumbering, build_transfer_matrix
+
+INT, TEXT, FLOAT = ColumnType.INT, ColumnType.TEXT, ColumnType.FLOAT
+
+
+def _db_two_children(values: tuple[float, float]) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema("parent", [Column("pid", INT)], primary_key="pid")
+    )
+    db.create_table(
+        TableSchema(
+            "child",
+            [
+                Column("cid", INT),
+                Column("pid", INT),
+                Column("value", FLOAT),
+            ],
+            primary_key="cid",
+            foreign_keys=[ForeignKey("pid", "parent", "pid")],
+        )
+    )
+    db.insert("parent", [0])
+    db.insert("child", [0, 0, values[0]])
+    db.insert("child", [1, 0, values[1]])
+    return db
+
+
+def _relationship(**overrides) -> AuthorityRelationship:
+    base = dict(
+        name="rel",
+        kind="fk",
+        table_a="child",
+        table_b="parent",
+        column_a="pid",
+        column_b=None,
+        rate_forward=0.4,
+        rate_backward=0.6,
+    )
+    base.update(overrides)
+    return AuthorityRelationship(**base)
+
+
+def _column_sums(db, ga) -> tuple[np.ndarray, NodeNumbering]:
+    matrix, numbering = build_transfer_matrix(db, ga)
+    return np.asarray(matrix.sum(axis=0)).ravel(), numbering
+
+
+class TestEvenShares:
+    def test_backward_rate_split_evenly(self) -> None:
+        db = _db_two_children((1.0, 1.0))
+        ga = AuthorityTransferGraph([_relationship()])
+        matrix, numbering = build_transfer_matrix(db, ga)
+        parent = numbering.global_id("parent", 0)
+        children = [numbering.global_id("child", 0), numbering.global_id("child", 1)]
+        dense = matrix.toarray()
+        # Parent → each child: 0.6 / 2.
+        for child in children:
+            assert dense[child, parent] == pytest.approx(0.3)
+        # Each child → parent: full 0.4 (single receiver).
+        for child in children:
+            assert dense[parent, child] == pytest.approx(0.4)
+
+    def test_total_outgoing_rate_bounded(self) -> None:
+        db = _db_two_children((1.0, 1.0))
+        ga = AuthorityTransferGraph([_relationship()])
+        sums, _ = _column_sums(db, ga)
+        assert sums.max() <= 0.6 + 1e-12
+
+
+class TestValueWeightedShares:
+    def test_receiver_split_proportional_to_value(self) -> None:
+        db = _db_two_children((30.0, 10.0))
+        ga = AuthorityTransferGraph(
+            [_relationship(value_backward=ValueFunction("child", "value"))]
+        )
+        matrix, numbering = build_transfer_matrix(db, ga)
+        parent = numbering.global_id("parent", 0)
+        dense = matrix.toarray()
+        c0 = numbering.global_id("child", 0)
+        c1 = numbering.global_id("child", 1)
+        assert dense[c0, parent] == pytest.approx(0.6 * 0.75)
+        assert dense[c1, parent] == pytest.approx(0.6 * 0.25)
+
+    def test_all_zero_values_fall_back_to_even_split(self) -> None:
+        db = _db_two_children((0.0, 0.0))
+        ga = AuthorityTransferGraph(
+            [_relationship(value_backward=ValueFunction("child", "value"))]
+        )
+        matrix, numbering = build_transfer_matrix(db, ga)
+        parent = numbering.global_id("parent", 0)
+        dense = matrix.toarray()
+        assert dense[numbering.global_id("child", 0), parent] == pytest.approx(0.3)
+        assert dense[numbering.global_id("child", 1), parent] == pytest.approx(0.3)
+
+    def test_zero_valued_receiver_gets_nothing(self) -> None:
+        db = _db_two_children((5.0, 0.0))
+        ga = AuthorityTransferGraph(
+            [_relationship(value_backward=ValueFunction("child", "value"))]
+        )
+        matrix, numbering = build_transfer_matrix(db, ga)
+        parent = numbering.global_id("parent", 0)
+        dense = matrix.toarray()
+        assert dense[numbering.global_id("child", 0), parent] == pytest.approx(0.6)
+        assert dense[numbering.global_id("child", 1), parent] == 0.0
+
+
+class TestSourceScaling:
+    def test_rate_scaled_by_normalised_source_value(self) -> None:
+        db = _db_two_children((100.0, 25.0))
+        ga = AuthorityTransferGraph(
+            [_relationship(source_value_forward=ValueFunction("child", "value"))]
+        )
+        matrix, numbering = build_transfer_matrix(db, ga)
+        parent = numbering.global_id("parent", 0)
+        dense = matrix.toarray()
+        # child 0 has the max value: full 0.4; child 1: 0.4 * 25/100.
+        assert dense[parent, numbering.global_id("child", 0)] == pytest.approx(0.4)
+        assert dense[parent, numbering.global_id("child", 1)] == pytest.approx(0.1)
+
+    def test_scaler_helper_bounds(self) -> None:
+        db = _db_two_children((8.0, 2.0))
+        scaler = source_scalers(db, ValueFunction("child", "value"))
+        assert scaler(0) == pytest.approx(1.0)
+        assert scaler(1) == pytest.approx(0.25)
+
+    def test_scaler_none_is_identity(self) -> None:
+        db = _db_two_children((8.0, 2.0))
+        scaler = source_scalers(db, None)
+        assert scaler(0) == 1.0 and scaler(1) == 1.0
+
+    def test_scaler_all_zero_degenerates_to_one(self) -> None:
+        db = _db_two_children((0.0, 0.0))
+        scaler = source_scalers(db, ValueFunction("child", "value"))
+        assert scaler(0) == 1.0
+
+
+class TestReceiverWeightHelper:
+    def test_constant_without_value_function(self) -> None:
+        db = _db_two_children((3.0, 4.0))
+        weigh = receiver_weights(db, None)
+        assert weigh(0) == 1.0 and weigh(1) == 1.0
+
+    def test_reads_configured_column(self) -> None:
+        db = _db_two_children((3.0, 4.0))
+        weigh = receiver_weights(db, ValueFunction("child", "value"))
+        assert weigh(0) == 3.0 and weigh(1) == 4.0

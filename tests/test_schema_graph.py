@@ -1,0 +1,54 @@
+"""Tests for the schema graph and junction detection."""
+
+from __future__ import annotations
+
+from repro.datasets.dblp import DBLPDataset
+from repro.datasets.tpch import TPCHDataset
+from repro.schema_graph.graph import SchemaGraph
+
+
+class TestJunctionDetection:
+    def test_dblp_junctions(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        # writes and cites are pure M:N tables; everything else is not.
+        assert graph.junction_tables == {"writes", "cites"}
+
+    def test_tpch_partsupp_is_not_a_junction(self, tpch: TPCHDataset) -> None:
+        # partsupp has two FKs but carries data columns and is referenced by
+        # lineitem — the paper's Figure 12 shows it as a first-class node.
+        graph = SchemaGraph(tpch.db)
+        assert "partsupp" not in graph.junction_tables
+        assert graph.junction_tables == set()
+
+    def test_explicit_override(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db, junction_tables={"writes"})
+        assert graph.junction_tables == {"writes"}
+
+
+class TestNavigation:
+    def test_edges_from_and_into(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        assert {e.target for e in graph.edges_from("paper")} == {"year"}
+        into_paper = {(e.owner, e.column) for e in graph.edges_into("paper")}
+        assert into_paper == {("writes", "paper_id"), ("cites", "citing_id"), ("cites", "cited_id")}
+
+    def test_degree(self, tpch: TPCHDataset) -> None:
+        graph = SchemaGraph(tpch.db)
+        # nation: region FK out; customer + supplier FKs in.
+        assert graph.degree("nation") == 3
+
+    def test_junction_partner_edges_self_loop(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        citing_edge = next(
+            e for e in graph.edges_into("paper") if e.column == "citing_id"
+        )
+        partners = graph.junction_partner_edges("cites", citing_edge)
+        # The partner of citing_id is cited_id (not itself), even though both
+        # FKs of the self-loop junction target the same table.
+        assert [p.column for p in partners] == ["cited_id"]
+
+    def test_edge_other_endpoint(self, dblp: DBLPDataset) -> None:
+        graph = SchemaGraph(dblp.db)
+        edge = graph.edges_from("paper")[0]
+        assert edge.other("paper") == "year"
+        assert edge.other("year") == "paper"

@@ -1,0 +1,89 @@
+"""Tests for the keyword-search front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.inverted_index import InvertedIndex
+from repro.search.keyword import KeywordSearcher
+from repro.search.tokenizer import tokenize
+
+
+class TestTokenizer:
+    def test_lowercase_alphanumeric(self) -> None:
+        assert tokenize("Christos Faloutsos") == ["christos", "faloutsos"]
+
+    def test_punctuation_split(self) -> None:
+        assert tokenize("R-KwS: a (new) paradigm!") == ["r", "kws", "a", "new", "paradigm"]
+
+    def test_numbers_kept(self) -> None:
+        assert tokenize("TPC-H 2011") == ["tpc", "h", "2011"]
+
+    def test_empty(self) -> None:
+        assert tokenize("") == []
+        assert tokenize("...") == []
+
+
+class TestInvertedIndex:
+    def test_single_keyword_lookup(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        postings = index.lookup("faloutsos")
+        assert {p.row_id for p in postings} == {0, 1, 2}
+
+    def test_lookup_case_insensitive(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        assert index.lookup("FALOUTSOS") == index.lookup("faloutsos")
+
+    def test_multi_token_keyword_intersects(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        postings = index.conjunctive(["Christos Faloutsos"])
+        assert {p.row_id for p in postings} == {0}
+
+    def test_conjunctive_multiple_keywords(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        assert index.conjunctive(["christos", "michalis"]) == set()
+        both = index.conjunctive(["faloutsos"])
+        assert len(both) == 3
+
+    def test_unknown_token_empty(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        assert index.lookup("zzzzunknown") == set()
+
+    def test_vocabulary_size(self, dblp) -> None:
+        index = InvertedIndex(dblp.db, ["author"])
+        assert index.vocabulary_size > 10
+
+    def test_only_searchable_columns_indexed(self, tpch) -> None:
+        # partsupp.comment is text but not flagged searchable.
+        index = InvertedIndex(tpch.db, ["partsupp"])
+        assert index.lookup("restock") == set()
+
+
+class TestKeywordSearcher:
+    def test_search_ranked_by_importance(self, dblp_engine) -> None:
+        matches = dblp_engine.searcher.search("Faloutsos")
+        assert len(matches) == 3
+        scores = [m.importance for m in matches]
+        assert scores == sorted(scores, reverse=True)
+        assert matches[0].row_id == 0  # Christos is the most prolific
+
+    def test_search_string_or_list(self, dblp_engine) -> None:
+        a = dblp_engine.searcher.search("Faloutsos")
+        b = dblp_engine.searcher.search(["Faloutsos"])
+        assert [(m.table, m.row_id) for m in a] == [(m.table, m.row_id) for m in b]
+
+    def test_empty_query_rejected(self, dblp_engine) -> None:
+        with pytest.raises(SearchError):
+            dblp_engine.searcher.search("   ")
+        with pytest.raises(SearchError):
+            dblp_engine.searcher.search([])
+
+    def test_search_spans_all_rds_tables(self, dblp_engine) -> None:
+        # Paper titles are searchable and Paper is an R_DS table here.
+        matches = dblp_engine.searcher.search("Indexing")
+        assert any(m.table == "paper" for m in matches)
+
+    def test_no_rds_tables_rejected(self, dblp, dblp_store) -> None:
+        with pytest.raises(SearchError):
+            KeywordSearcher(dblp.db, [], dblp_store)

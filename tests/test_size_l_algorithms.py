@@ -1,0 +1,251 @@
+"""Algorithm correctness: DP optimality, Lemma 2, greedy invariants.
+
+The heart of the reproduction's test suite:
+
+* DP == brute force on hypothesis-generated random trees (Lemma 1);
+* every algorithm returns a *connected* subtree containing the root with
+  exactly min(l, reachable) nodes (Definition 1);
+* Bottom-Up Pruning is optimal under monotone weights (Lemma 2);
+* greedy results never exceed the optimum;
+* the paper's Figure 4 worked example.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bottom_up import bottom_up_size_l
+from repro.core.brute_force import brute_force_size_l
+from repro.core.dp import optimal_size_l
+from repro.core.os_tree import ObjectSummary
+from repro.core.top_path import top_path_size_l
+
+from tests.conftest import make_tree
+
+ALL_ALGORITHMS = {
+    "dp": optimal_size_l,
+    "bottom_up": bottom_up_size_l,
+    "top_path": top_path_size_l,
+    "top_path_opt": lambda t, l: top_path_size_l(t, l, variant="optimized"),
+}
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis tree strategies
+# --------------------------------------------------------------------- #
+@st.composite
+def random_tree(draw, max_nodes: int = 14, monotone: bool = False) -> ObjectSummary:
+    """A random rooted tree with float weights.
+
+    With ``monotone=True``, every child's weight is <= its parent's —
+    the Lemma 2 / Lemma 3 precondition.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = {0: None}
+    structure: dict[int, list[int]] = {}
+    for uid in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=uid - 1))
+        parents[uid] = parent
+        structure.setdefault(parent, []).append(uid)
+    weights: dict[int, float] = {}
+    for uid in range(n):
+        raw = draw(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+        )
+        if monotone and parents[uid] is not None:
+            weights[uid] = min(raw, weights[parents[uid]])
+        else:
+            weights[uid] = raw
+    return make_tree(structure, weights)
+
+
+def assert_valid_size_l(tree: ObjectSummary, result, l: int) -> None:  # noqa: E741
+    """Definition 1 invariants for any size-l result."""
+    eligible = sum(1 for node in tree.nodes if node.depth < l)
+    assert result.size == min(l, eligible)
+    assert tree.root.uid in result.selected_uids
+    for uid in result.selected_uids:
+        node = tree.node(uid)
+        if node.parent is not None:
+            assert node.parent.uid in result.selected_uids, "subtree must be connected"
+    assert result.importance == pytest.approx(
+        sum(tree.node(uid).weight for uid in result.selected_uids)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Lemma 1: DP is optimal
+# --------------------------------------------------------------------- #
+class TestDPOptimality:
+    @settings(max_examples=120, deadline=None)
+    @given(random_tree(max_nodes=12), st.integers(min_value=1, max_value=7))
+    def test_dp_matches_brute_force(self, tree: ObjectSummary, l: int) -> None:
+        dp = optimal_size_l(tree, l)
+        bf = brute_force_size_l(tree, l)
+        assert dp.importance == pytest.approx(bf.importance)
+        assert_valid_size_l(tree, dp, l)
+        assert_valid_size_l(tree, bf, l)
+
+    def test_figure_4_example(self, paper_figure4_tree) -> None:
+        """The paper's Figure 4: the optimal size-4 OS is {1, 4, 5, 6}
+        (root + its three best direct children; 30+31+80+35 = 176)."""
+        result = optimal_size_l(paper_figure4_tree, 4)
+        assert result.selected_uids == {0, 4, 5, 6}
+        assert result.importance == pytest.approx(176.0)
+
+    def test_l_larger_than_tree_returns_everything(self, star_tree) -> None:
+        result = optimal_size_l(star_tree, 50)
+        assert result.size == star_tree.size
+
+    def test_l_one_returns_root(self, paper_figure4_tree) -> None:
+        result = optimal_size_l(paper_figure4_tree, 1)
+        assert result.selected_uids == {0}
+
+    def test_depth_filter_excludes_deep_nodes(self, chain_tree) -> None:
+        # Chain 0-1-2-3-4; with l=2 only depths 0-1 are eligible.
+        result = optimal_size_l(chain_tree, 2)
+        assert result.selected_uids == {0, 1}
+
+    def test_deep_path_wins_when_it_should(self) -> None:
+        # Root with a cheap deep chain holding a treasure vs rich shallow leaves.
+        structure = {0: [1, 4, 5], 1: [2], 2: [3]}
+        weights = {0: 1.0, 1: 0.1, 2: 0.1, 3: 100.0, 4: 5.0, 5: 4.0}
+        tree = make_tree(structure, weights)
+        result = optimal_size_l(tree, 4)
+        assert result.selected_uids == {0, 1, 2, 3}
+
+    def test_stats_reported(self, paper_figure4_tree) -> None:
+        result = optimal_size_l(paper_figure4_tree, 4)
+        assert result.stats["eligible_nodes"] == 14
+        assert result.stats["cell_updates"] > 0
+
+
+# --------------------------------------------------------------------- #
+# All algorithms: Definition 1 invariants + bounded by optimum
+# --------------------------------------------------------------------- #
+class TestAlgorithmInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(random_tree(max_nodes=20), st.integers(min_value=1, max_value=10))
+    def test_connectivity_size_and_bound(self, tree: ObjectSummary, l: int) -> None:
+        optimum = optimal_size_l(tree, l).importance
+        for name, algorithm in ALL_ALGORITHMS.items():
+            result = algorithm(tree, l)
+            assert_valid_size_l(tree, result, l)
+            assert result.importance <= optimum + 1e-6, name
+
+    @pytest.mark.parametrize("name", list(ALL_ALGORITHMS))
+    def test_single_node_tree(self, name: str) -> None:
+        tree = make_tree({}, {0: 3.0})
+        result = ALL_ALGORITHMS[name](tree, 5)
+        assert result.selected_uids == {0}
+
+    @pytest.mark.parametrize("name", list(ALL_ALGORITHMS))
+    def test_zero_weights(self, name: str) -> None:
+        tree = make_tree({0: [1, 2]}, {0: 0.0, 1: 0.0, 2: 0.0})
+        result = ALL_ALGORITHMS[name](tree, 2)
+        assert result.size == 2
+
+
+# --------------------------------------------------------------------- #
+# Lemma 2: Bottom-Up optimal under monotone weights
+# --------------------------------------------------------------------- #
+class TestBottomUp:
+    @settings(max_examples=80, deadline=None)
+    @given(random_tree(max_nodes=14, monotone=True), st.integers(min_value=1, max_value=8))
+    def test_lemma_2_monotone_optimal(self, tree: ObjectSummary, l: int) -> None:
+        bu = bottom_up_size_l(tree, l)
+        dp = optimal_size_l(tree, l)
+        assert bu.importance == pytest.approx(dp.importance)
+
+    def test_prunes_smallest_leaf_first(self, star_tree) -> None:
+        result = bottom_up_size_l(star_tree, 3)
+        # Leaves 5 (w=1) and 4 (w=2) and 3 (w=3) pruned; 1, 2 remain.
+        assert result.selected_uids == {0, 1, 2}
+
+    def test_root_never_pruned(self, chain_tree) -> None:
+        result = bottom_up_size_l(chain_tree, 1)
+        assert result.selected_uids == {0}
+
+    def test_known_suboptimal_case(self) -> None:
+        """Bottom-Up greedily prunes a low-weight connector and loses the
+        treasure behind it — the weakness Top-Path fixes."""
+        structure = {0: [1, 3], 1: [2]}
+        weights = {0: 10.0, 1: 0.5, 2: 100.0, 3: 1.0}
+        tree = make_tree(structure, weights)
+        bu = bottom_up_size_l(tree, 2)
+        dp = optimal_size_l(tree, 2)
+        # With l=2 the optimum is {0, 3} (the treasure needs 3 slots).
+        assert bu.importance == pytest.approx(dp.importance)
+        # With l=3 the optimum is {0, 1, 2}=110.5; Bottom-Up prunes leaf 2's
+        # connector path bottom-up: leaves are 2(100) and 3(1) -> prunes 3,
+        # then stops at 3 nodes: {0, 1, 2}. Bottom-up survives this one; a
+        # harsher case: prune order hits the connector first.
+        structure = {0: [1, 3, 4], 1: [2]}
+        weights = {0: 10.0, 1: 0.5, 2: 0.6, 3: 5.0, 4: 4.0}
+        tree = make_tree(structure, weights)
+        bu3 = bottom_up_size_l(tree, 3)
+        assert bu3.selected_uids == {0, 3, 4}  # leaf 2 (0.6) pruned first
+
+    def test_heap_stats(self, paper_figure4_tree) -> None:
+        result = bottom_up_size_l(paper_figure4_tree, 4)
+        assert result.stats["heap_dequeues"] == 10  # 14 - 4 prunes
+
+
+# --------------------------------------------------------------------- #
+# Top-Path specifics
+# --------------------------------------------------------------------- #
+class TestTopPath:
+    def test_selects_deep_treasure_through_cheap_connectors(self) -> None:
+        structure = {0: [1, 4, 5], 1: [2], 2: [3]}
+        weights = {0: 1.0, 1: 0.1, 2: 0.1, 3: 100.0, 4: 5.0, 5: 4.0}
+        tree = make_tree(structure, weights)
+        result = top_path_size_l(tree, 4)
+        assert result.selected_uids == {0, 1, 2, 3}
+
+    def test_partial_path_takes_prefix(self) -> None:
+        # Path of 3 needed but only 2 slots: the top of the path is taken
+        # ("only these nodes are connected to the current size-l OS").
+        structure = {0: [1], 1: [2], 2: [3]}
+        weights = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1000.0}
+        tree = make_tree(structure, weights)
+        result = top_path_size_l(tree, 3)
+        assert result.selected_uids == {0, 1, 2}
+
+    def test_figure_6_first_path_is_root_and_best_child(self, paper_figure4_tree) -> None:
+        """Figure 6: node 5 has the max initial AI (30+80)/2 = 55, so the
+        first selected path is {1, 5} (our uids {0, 5})."""
+        result = top_path_size_l(paper_figure4_tree, 2)
+        assert result.selected_uids == {0, 5}
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_tree(max_nodes=16), st.integers(min_value=1, max_value=8))
+    def test_variants_close_to_each_other(self, tree: ObjectSummary, l: int) -> None:
+        naive = top_path_size_l(tree, l, variant="naive")
+        optimized = top_path_size_l(tree, l, variant="optimized")
+        # The s(v) shortcut is a heuristic; it must stay within 25% of the
+        # exact-rescan variant on small trees (empirically they are usually
+        # identical — the ablation bench quantifies this).
+        if naive.importance > 0:
+            assert optimized.importance >= 0.75 * naive.importance
+
+    def test_unknown_variant_rejected(self, star_tree) -> None:
+        from repro.errors import SummaryError
+
+        with pytest.raises(SummaryError):
+            top_path_size_l(star_tree, 2, variant="bogus")
+
+
+# --------------------------------------------------------------------- #
+# Brute force self-checks
+# --------------------------------------------------------------------- #
+class TestBruteForce:
+    def test_candidate_count_star(self, star_tree) -> None:
+        # Size-3 subtrees of a 5-leaf star containing the root: C(5,2) = 10.
+        result = brute_force_size_l(star_tree, 3)
+        assert result.stats["candidates"] == 10
+
+    def test_candidate_count_chain(self, chain_tree) -> None:
+        result = brute_force_size_l(chain_tree, 3)
+        assert result.stats["candidates"] == 1  # only the prefix

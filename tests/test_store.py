@@ -1,0 +1,81 @@
+"""Tests for the importance store and G_DS annotation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RankingError
+from repro.ranking.store import ImportanceStore, annotate_gds
+
+
+class TestImportanceStore:
+    def test_importance_lookup(self, dblp_store) -> None:
+        assert dblp_store.importance("author", 0) > 0
+
+    def test_unknown_table_raises(self, dblp_store) -> None:
+        with pytest.raises(RankingError):
+            dblp_store.importance("nope", 0)
+        with pytest.raises(RankingError):
+            dblp_store.array("nope")
+
+    def test_max_importance(self, dblp_store) -> None:
+        assert dblp_store.max_importance("paper") == dblp_store.array("paper").max()
+
+    def test_local_importance_is_equation_3(self, dblp, dblp_store) -> None:
+        gds = dblp.author_gds()
+        paper_node = gds.node("Paper")
+        expected = dblp_store.importance("paper", 3) * paper_node.affinity
+        assert dblp_store.local_importance(paper_node, 3) == pytest.approx(expected)
+
+    def test_scaled(self, dblp_store) -> None:
+        doubled = dblp_store.scaled(2.0)
+        assert doubled.importance("author", 0) == pytest.approx(
+            2.0 * dblp_store.importance("author", 0)
+        )
+
+    def test_normalised_to_mean(self, dblp_store) -> None:
+        normed = dblp_store.normalised_to_mean(5.0)
+        total = sum(float(normed.array(t).sum()) for t in normed.tables())
+        count = sum(int(normed.array(t).size) for t in normed.tables())
+        assert total / count == pytest.approx(5.0)
+
+    def test_uniform_store(self, dblp) -> None:
+        store = ImportanceStore.uniform(dblp.db, 3.0)
+        assert store.importance("author", 5) == 3.0
+
+    def test_empty_table_max(self) -> None:
+        store = ImportanceStore({"empty": np.array([])})
+        assert store.max_importance("empty") == 0.0
+
+
+class TestAnnotateGds:
+    def test_max_local_is_table_max_times_affinity(self, dblp, dblp_store) -> None:
+        gds = dblp.author_gds().prune(0.7)
+        annotate_gds(gds, dblp_store)
+        paper = gds.node("Paper")
+        assert paper.max_local == pytest.approx(
+            dblp_store.max_importance("paper") * paper.affinity
+        )
+
+    def test_mmax_is_descendant_upper_bound(self, dblp, dblp_store) -> None:
+        """mmax(R_i) must dominate max(R_j) of every descendant — the safety
+        requirement of Avoidance Condition 1 (and where we deviate from the
+        likely-typo annotation in the paper's Figure 2; see DESIGN.md)."""
+        gds = dblp.author_gds().prune(0.7)
+        annotate_gds(gds, dblp_store)
+
+        def descendants(node):
+            for child in node.children:
+                yield child
+                yield from descendants(child)
+
+        for node in gds.nodes():
+            for descendant in descendants(node):
+                assert node.mmax_local >= descendant.max_local - 1e-12
+
+    def test_leaf_mmax_is_zero(self, dblp, dblp_store) -> None:
+        gds = dblp.author_gds().prune(0.7)
+        annotate_gds(gds, dblp_store)
+        assert gds.node("Conference").mmax_local == 0.0
+        assert gds.node("Co_Author").mmax_local == 0.0

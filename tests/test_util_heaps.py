@@ -1,0 +1,129 @@
+"""Unit + property tests for the heap structures backing Algorithms 2 and 4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.heaps import BoundedTopHeap, KeyedMinHeap
+
+
+class TestKeyedMinHeap:
+    def test_pop_order_is_ascending(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        heap.push("c", 3.0)
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert [heap.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+    def test_duplicate_push_raises(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        heap.push("x", 1.0)
+        with pytest.raises(ValueError):
+            heap.push("x", 2.0)
+
+    def test_discard_removes_lazily(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert heap.discard("a")
+        assert not heap.discard("a")
+        assert heap.peek() == ("b", 2.0)
+        assert len(heap) == 1
+
+    def test_peek_does_not_remove(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        heap.push("a", 1.0)
+        assert heap.peek() == ("a", 1.0)
+        assert len(heap) == 1
+
+    def test_empty_pop_and_peek_raise(self) -> None:
+        heap: KeyedMinHeap[str] = KeyedMinHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_contains_and_items(self) -> None:
+        heap: KeyedMinHeap[int] = KeyedMinHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        assert 1 in heap
+        assert set(heap.items()) == {1, 2}
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=60))
+    def test_property_pop_sequence_is_sorted(self, scores: list[float]) -> None:
+        heap: KeyedMinHeap[int] = KeyedMinHeap()
+        for idx, score in enumerate(scores):
+            heap.push(idx, score)
+        popped = [heap.pop()[1] for _ in range(len(scores))]
+        assert popped == sorted(scores)
+
+
+class TestBoundedTopHeap:
+    def test_threshold_is_zero_until_full(self) -> None:
+        heap: BoundedTopHeap[str] = BoundedTopHeap(3)
+        heap.offer("a", 9.0)
+        heap.offer("b", 8.0)
+        assert heap.threshold == 0.0  # Algorithm 4 lines 20-21
+        heap.offer("c", 7.0)
+        assert heap.threshold == 7.0  # line 23: smallest of top-l PQ
+
+    def test_eviction_keeps_largest(self) -> None:
+        heap: BoundedTopHeap[int] = BoundedTopHeap(2)
+        heap.offer(1, 1.0)
+        heap.offer(2, 2.0)
+        assert heap.offer(3, 3.0)  # evicts 1
+        assert not heap.offer(4, 0.5)  # below threshold
+        assert [item for item, _ in heap.items()] == [3, 2]
+
+    def test_equal_score_does_not_evict(self) -> None:
+        heap: BoundedTopHeap[str] = BoundedTopHeap(1)
+        heap.offer("first", 5.0)
+        assert not heap.offer("second", 5.0)
+        assert heap.items() == [("first", 5.0)]
+
+    def test_capacity_validation(self) -> None:
+        with pytest.raises(ValueError):
+            BoundedTopHeap(0)
+
+    def test_items_sorted_descending(self) -> None:
+        heap: BoundedTopHeap[int] = BoundedTopHeap(4)
+        for idx, score in enumerate([3.0, 1.0, 4.0, 2.0]):
+            heap.offer(idx, score)
+        assert [score for _item, score in heap.items()] == [4.0, 3.0, 2.0, 1.0]
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_property_retains_k_largest(self, scores: list[float], k: int) -> None:
+        heap: BoundedTopHeap[int] = BoundedTopHeap(k)
+        for idx, score in enumerate(scores):
+            heap.offer(idx, score)
+        retained = sorted((score for _item, score in heap.items()), reverse=True)
+        expected = sorted(scores, reverse=True)[:k]
+        assert retained == expected
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_property_threshold_is_kth_largest_or_zero(
+        self, scores: list[float], k: int
+    ) -> None:
+        heap: BoundedTopHeap[int] = BoundedTopHeap(k)
+        for idx, score in enumerate(scores):
+            heap.offer(idx, score)
+        if len(scores) < k:
+            assert heap.threshold == 0.0
+        else:
+            assert heap.threshold == sorted(scores, reverse=True)[k - 1]
