@@ -43,11 +43,7 @@ def dblp_settings(dblp_bench):
 
 @pytest.fixture(scope="session")
 def dblp_engine_bench(dblp_bench, dblp_settings):
-    return SizeLEngine(
-        dblp_bench.db,
-        {"author": dblp_bench.author_gds(), "paper": dblp_bench.paper_gds()},
-        dblp_settings["GA1-d1"],
-    )
+    return SizeLEngine.from_dataset(dblp_bench, store=dblp_settings["GA1-d1"])
 
 
 @pytest.fixture(scope="session")
@@ -70,8 +66,4 @@ def tpch_settings(tpch_bench):
 
 @pytest.fixture(scope="session")
 def tpch_engine_bench(tpch_bench, tpch_settings):
-    return SizeLEngine(
-        tpch_bench.db,
-        {"customer": tpch_bench.customer_gds(), "supplier": tpch_bench.supplier_gds()},
-        tpch_settings["GA1-d1"],
-    )
+    return SizeLEngine.from_dataset(tpch_bench, store=tpch_settings["GA1-d1"])

@@ -17,14 +17,13 @@ from repro.core.bottom_up import bottom_up_size_l
 from repro.core.dp import optimal_size_l
 from repro.core.top_path import top_path_size_l
 from repro.datasets.dblp import DBLPConfig, generate_dblp
-from repro.ranking import compute_objectrank
 from repro.util.text import format_table
 
 
 def main() -> None:
     data = generate_dblp(DBLPConfig(n_authors=150, n_papers=400, seed=7))
-    store = compute_objectrank(data.db, data.ga1())
-    engine = SizeLEngine(data.db, {"author": data.author_gds()}, store)
+    # from_dataset wires the G_DS presets and the default ObjectRank store.
+    engine = SizeLEngine.from_dataset(data)
 
     subject_row = 0  # Christos Faloutsos - the largest OS in the database
     complete = engine.complete_os("author", subject_row)

@@ -19,7 +19,7 @@ Run:  python examples/custom_database.py
 
 from __future__ import annotations
 
-from repro.core import SizeLEngine
+from repro.core import EngineBuilder
 from repro.db import Column, ColumnType, Database, ForeignKey, TableSchema
 from repro.ranking import compute_pagerank
 from repro.schema_graph import ComputedAffinityModel, SchemaGraph, build_gds
@@ -149,10 +149,17 @@ def main() -> None:
     # No citations/values in this schema: PageRank over the tuple graph.
     store = compute_pagerank(db)
     theta = 0.25  # computed affinities sit lower than expert ones
-    engine = SizeLEngine(db, {"student": student_gds}, store, theta=theta)
+    session = (
+        EngineBuilder()
+        .with_database(db)
+        .with_gds("student", student_gds)
+        .with_store(store)
+        .with_theta(theta)
+        .build_session()
+    )
 
     print(f"\nSize-8 summaries for keyword query 'Dana' (theta={theta}):")
-    for entry in engine.keyword_query("Dana", l=8):
+    for entry in session.iter_keyword_query("Dana", l=8):
         print()
         print(entry.result.render())
 

@@ -15,19 +15,14 @@ Run:  python examples/dblp_faloutsos.py
 
 from __future__ import annotations
 
-from repro.core import SizeLEngine
+from repro.core import Algorithm, QueryOptions, SizeLEngine, Source
 from repro.datasets.dblp import DBLPConfig, generate_dblp
-from repro.ranking import compute_objectrank
 
 
 def main() -> None:
     data = generate_dblp(DBLPConfig(n_authors=120, n_papers=300, seed=7))
-    store = compute_objectrank(data.db, data.ga1())
-    engine = SizeLEngine(
-        data.db,
-        {"author": data.author_gds(), "paper": data.paper_gds()},
-        store,
-    )
+    # from_dataset wires the G_DS presets and the default ObjectRank store.
+    engine = SizeLEngine.from_dataset(data)
 
     print("=" * 72)
     print("Example 3 - R-KwS result for Q1 'Faloutsos': matching tuples only")
@@ -75,13 +70,13 @@ def main() -> None:
     print("=" * 72)
     print("All size-l algorithms on the same OS (l = 15)")
     print("=" * 72)
-    for algorithm in ("dp", "bottom_up", "top_path", "top_path_optimized"):
-        for source in ("complete", "prelim"):
-            result = engine.size_l(
-                "author", christos.row_id, 15, algorithm=algorithm, source=source
-            )
+    for algorithm in Algorithm:
+        for source in Source:
+            options = QueryOptions(l=15, algorithm=algorithm, source=source)
+            result = engine.size_l("author", christos.row_id, options=options)
             print(
-                f"  {algorithm:>20} on {source:8}: Im(S) = {result.importance:8.2f}  "
+                f"  {algorithm.value:>20} on {source.value:8}: "
+                f"Im(S) = {result.importance:8.2f}  "
                 f"({result.stats['algorithm_seconds'] * 1000:6.1f} ms)"
             )
 

@@ -21,20 +21,15 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core import SizeLEngine, word_budget_summary
+from repro.core import SizeLEngine, Source, word_budget_summary
 from repro.datasets.tpch import TPCHConfig, generate_tpch
 from repro.db.csvio import export_table
-from repro.ranking import compute_valuerank
 
 
 def main() -> None:
     data = generate_tpch(TPCHConfig(scale_factor=0.002, seed=11))
-    store = compute_valuerank(data.db, data.ga1())
-    engine = SizeLEngine(
-        data.db,
-        {"customer": data.customer_gds(), "supplier": data.supplier_gds()},
-        store,
-    )
+    # from_dataset wires the G_DS presets and the default ValueRank store.
+    engine = SizeLEngine.from_dataset(data)
 
     subject_name = "Customer#000007"
     matches = engine.searcher.search(subject_name)
@@ -59,7 +54,7 @@ def main() -> None:
     # 2. Case-officer summaries.
     print()
     print("Executive summary (size-10):")
-    summary = engine.size_l("customer", subject.row_id, 10, source="prelim")
+    summary = engine.size_l("customer", subject.row_id, 10, source=Source.PRELIM)
     print(summary.render())
 
     print()

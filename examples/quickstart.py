@@ -1,36 +1,32 @@
-"""Quickstart: keyword search to size-l Object Summaries in ~20 lines.
+"""Quickstart: keyword search to size-l Object Summaries in ~15 lines.
 
-Builds a small synthetic DBLP database, ranks tuples with global ObjectRank,
-and runs the paper's running example: the keyword query Q1 = "Faloutsos"
-with l = 15 (Example 5 of the paper).
+Builds a small synthetic DBLP database, opens a :class:`repro.Session`
+(engine + integrated cache), and streams the paper's running example:
+the keyword query Q1 = "Faloutsos" with l = 15 (Example 5 of the paper).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import SizeLEngine
+from repro import QueryOptions, Session
 from repro.datasets.dblp import small_dblp
-from repro.ranking import compute_objectrank
 
 
 def main() -> None:
-    # 1. A database (swap in your own via repro.db.Database + schemas).
+    # 1. A database (swap in your own via repro.EngineBuilder).
     data = small_dblp(seed=7)
     print(f"Database: {data.db}")
 
-    # 2. Global tuple importance: ObjectRank under the paper's default G_A.
-    store = compute_objectrank(data.db, data.ga1())
+    # 2. A session: engine (G_DS presets, ObjectRank store, theta = 0.7)
+    #    plus an integrated summary cache.
+    session = Session.from_dataset(data)
 
-    # 3. The engine: G_DS presets per Data Subject relation, theta = 0.7.
-    engine = SizeLEngine(
-        data.db,
-        {"author": data.author_gds(), "paper": data.paper_gds()},
-        store,
-    )
-
-    # 4. The paper's Q1: one size-15 OS per matching Data Subject.
-    for entry in engine.keyword_query("Faloutsos", l=15):
+    # 3. The paper's Q1, streamed: each size-15 OS prints as soon as it is
+    #    computed - no waiting for the full result list.
+    for entry in session.iter_keyword_query(
+        "Faloutsos", options=QueryOptions(l=15)
+    ):
         result = entry.result
         print()
         print(

@@ -15,21 +15,16 @@ Run:  python examples/tpch_customer_report.py
 
 from __future__ import annotations
 
-from repro.core import SizeLEngine
+from repro.core import QueryOptions, SizeLEngine, Source
 from repro.datasets.tpch import TPCHConfig, generate_tpch
-from repro.ranking import compute_valuerank
 
 
 def main() -> None:
     data = generate_tpch(TPCHConfig(scale_factor=0.002, seed=11))
     print(f"Database: {data.db}")
 
-    valuerank = compute_valuerank(data.db, data.ga1())
-    engine = SizeLEngine(
-        data.db,
-        {"customer": data.customer_gds(), "supplier": data.supplier_gds()},
-        valuerank,
-    )
+    # from_dataset wires the G_DS presets and the default ValueRank store.
+    engine = SizeLEngine.from_dataset(data)
 
     print()
     print("Customer G_DS(0.7) - Figure 12's theta cut:")
@@ -52,19 +47,17 @@ def main() -> None:
     )
     print()
     print("Size-12 summary (ValueRank):")
-    result = engine.size_l("customer", busiest_row, 12, source="prelim")
+    report_options = QueryOptions(l=12, source=Source.PRELIM)
+    result = engine.size_l("customer", busiest_row, options=report_options)
     print(result.render())
 
     # Value-blind contrast: the same summary under the ObjectRank G_A2.
     from repro.ranking import compute_objectrank
 
-    objectrank = compute_objectrank(data.db, data.ga2())
-    blind_engine = SizeLEngine(
-        data.db,
-        {"customer": data.customer_gds(), "supplier": data.supplier_gds()},
-        objectrank,
+    blind_engine = SizeLEngine.from_dataset(
+        data, store=compute_objectrank(data.db, data.ga2())
     )
-    blind = blind_engine.size_l("customer", busiest_row, 12, source="prelim")
+    blind = blind_engine.size_l("customer", busiest_row, options=report_options)
     shared = len(result.selected_uids & blind.selected_uids)
     print()
     print(

@@ -16,33 +16,42 @@ The library implements the paper's complete stack from scratch:
 
 Quickstart::
 
+    from repro import QueryOptions, Session
     from repro.datasets.dblp import small_dblp
-    from repro.ranking import compute_objectrank
-    from repro.core import SizeLEngine
 
-    data = small_dblp()
-    store = compute_objectrank(data.db, data.ga1())
-    engine = SizeLEngine(
-        data.db,
-        {"author": data.author_gds(), "paper": data.paper_gds()},
-        store,
-    )
-    for entry in engine.keyword_query("Faloutsos", l=15):
+    session = Session.from_dataset(small_dblp())
+    for entry in session.iter_keyword_query("Faloutsos", options=QueryOptions(l=15)):
         print(entry.result.render())
+
+See README.md for the full API tour (typed options, registries, builder)
+and the old→new migration table.
 """
 
 from repro.core import (
+    Algorithm,
+    Backend,
+    EngineBuilder,
+    KeywordResult,
     ObjectSummary,
     OSNode,
+    QueryOptions,
+    ResultStats,
     SizeLEngine,
     SizeLResult,
+    Source,
+    SummaryCache,
+    algorithm_names,
+    backend_names,
     bottom_up_size_l,
     brute_force_size_l,
     generate_os,
     generate_prelim_os,
     optimal_size_l,
+    register_algorithm,
+    register_backend,
     top_path_size_l,
 )
+from repro.session import Session
 from repro.db import Column, ColumnType, Database, ForeignKey, TableSchema
 from repro.ranking import (
     ImportanceStore,
@@ -52,13 +61,26 @@ from repro.ranking import (
 )
 from repro.schema_graph import GDS, ManualAffinityModel, SchemaGraph, build_gds
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ObjectSummary",
     "OSNode",
     "SizeLEngine",
     "SizeLResult",
+    "Session",
+    "SummaryCache",
+    "KeywordResult",
+    "EngineBuilder",
+    "QueryOptions",
+    "ResultStats",
+    "Algorithm",
+    "Source",
+    "Backend",
+    "register_algorithm",
+    "register_backend",
+    "algorithm_names",
+    "backend_names",
     "bottom_up_size_l",
     "brute_force_size_l",
     "generate_os",

@@ -4,12 +4,19 @@ Usage (after ``pip install -e .``)::
 
     python -m repro query --database dblp --keywords Faloutsos --l 15
     python -m repro query --database tpch --keywords "Supplier#000001" --l 10
+    python -m repro query --database dblp --keywords Faloutsos --backend database
     python -m repro gds --database dblp --subject author
     python -m repro analyze --database dblp --subject author --max-l 25
 
-``query`` runs the paper's end-to-end pipeline (Examples 3-5); ``gds``
-prints the annotated, θ-pruned G_DS (Figure 2/12); ``analyze`` runs the
-Section-7 optimal-family analysis (nesting/stability across l).
+``query`` runs the paper's end-to-end pipeline (Examples 3-5), streaming
+each result as its size-l OS is computed; ``gds`` prints the annotated,
+θ-pruned G_DS (Figure 2/12); ``analyze`` runs the Section-7
+optimal-family analysis (nesting/stability across l).
+
+``--algorithm`` and ``--backend`` choices derive from
+:mod:`repro.core.registry`, so plugins registered via
+``register_algorithm`` / ``register_backend`` before the parser is built
+appear automatically.
 
 The CLI builds the synthetic databases on the fly (deterministic under
 ``--seed``); wiring a custom database means using the library API directly
@@ -23,54 +30,36 @@ import sys
 from typing import Sequence
 
 from repro.core.analysis import nesting_profile, optimal_family, stability_profile
-from repro.core.engine import ALGORITHMS, SizeLEngine
+from repro.core.builder import NAMED_DATASETS, EngineBuilder
+from repro.core.options import QueryOptions
+from repro.core.registry import algorithm_names, backend_names
+from repro.errors import SummaryError
+from repro.session import Session
 
 
-def _build_engine(database: str, seed: int, scale: float) -> SizeLEngine:
-    if database == "dblp":
-        from repro.datasets.dblp import DBLPConfig, generate_dblp
-        from repro.ranking.objectrank import compute_objectrank
-
-        data = generate_dblp(
-            DBLPConfig(
-                n_authors=max(30, int(300 * scale)),
-                n_papers=max(60, int(800 * scale)),
-                seed=seed,
-            )
-        )
-        store = compute_objectrank(data.db, data.ga1())
-        return SizeLEngine(
-            data.db,
-            {"author": data.author_gds(), "paper": data.paper_gds()},
-            store,
-        )
-    if database == "tpch":
-        from repro.datasets.tpch import TPCHConfig, generate_tpch
-        from repro.ranking.valuerank import compute_valuerank
-
-        data = generate_tpch(TPCHConfig(scale_factor=0.003 * scale, seed=seed))
-        store = compute_valuerank(data.db, data.ga1())
-        return SizeLEngine(
-            data.db,
-            {"customer": data.customer_gds(), "supplier": data.supplier_gds()},
-            store,
-        )
-    raise SystemExit(f"unknown database {database!r}; choose dblp or tpch")
+def _build_session(database: str, seed: int, scale: float) -> Session:
+    try:
+        return EngineBuilder.named(database, seed=seed, scale=scale).build_session()
+    except SummaryError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.database, args.seed, args.scale)
-    results = engine.keyword_query(
-        args.keywords,
-        l=args.l,
-        algorithm=args.algorithm,
-        source=args.source,
-        max_results=args.max_results,
-    )
-    if not results:
-        print("no matching data subjects")
-        return 1
-    for rank, entry in enumerate(results, start=1):
+    try:
+        options = QueryOptions(
+            l=args.l,
+            algorithm=args.algorithm,
+            source=args.source,
+            backend=args.backend,
+            max_results=args.max_results,
+        ).normalized()
+    except SummaryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = _build_session(args.database, args.seed, args.scale)
+    rank = 0
+    for entry in session.iter_keyword_query(args.keywords, options=options):
+        rank += 1
         print(
             f"--- result {rank}: {entry.match.table} "
             f"(Im(t_DS)={entry.match.importance:.2f}, "
@@ -79,23 +68,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         print(entry.result.render())
         print()
+    if rank == 0:
+        print("no matching data subjects")
+        return 1
     return 0
 
 
 def _cmd_gds(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.database, args.seed, args.scale)
-    print(engine.gds_for(args.subject).render())
+    session = _build_session(args.database, args.seed, args.scale)
+    print(session.engine.gds_for(args.subject).render())
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.database, args.seed, args.scale)
+    session = _build_session(args.database, args.seed, args.scale)
+    engine = session.engine
     matches = engine.searcher.search(args.keywords) if args.keywords else None
     if matches:
         rds_table, row_id = matches[0].table, matches[0].row_id
     else:
         rds_table, row_id = args.subject, 0
-    tree = engine.complete_os(rds_table, row_id)
+    tree = session.complete_os(rds_table, row_id)
     family = optimal_family(tree, args.max_l)
     nesting = nesting_profile(family)
     stability = stability_profile(family)
@@ -126,25 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query", help="run a size-l OS keyword query")
-    query.add_argument("--database", choices=("dblp", "tpch"), default="dblp")
+    query.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
     query.add_argument("--keywords", nargs="+", required=True)
     query.add_argument("--l", dest="l", type=int, default=10)
     query.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), default="top_path"
+        "--algorithm", choices=algorithm_names(), default="top_path"
     )
     query.add_argument("--source", choices=("complete", "prelim"), default="prelim")
+    query.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="datagraph",
+        help="OS-generation backend (registry-extensible)",
+    )
     query.add_argument("--max-results", type=int, default=3)
     query.set_defaults(func=_cmd_query)
 
     gds = sub.add_parser("gds", help="print an annotated G_DS")
-    gds.add_argument("--database", choices=("dblp", "tpch"), default="dblp")
+    gds.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
     gds.add_argument("--subject", required=True, help="R_DS table name")
     gds.set_defaults(func=_cmd_gds)
 
     analyze = sub.add_parser(
         "analyze", help="analyse the space of optimal size-l OSs (Section 7)"
     )
-    analyze.add_argument("--database", choices=("dblp", "tpch"), default="dblp")
+    analyze.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
     analyze.add_argument("--subject", default="author", help="R_DS table name")
     analyze.add_argument("--keywords", nargs="*", help="pick the subject by keywords")
     analyze.add_argument("--max-l", type=int, default=20)

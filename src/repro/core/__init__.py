@@ -13,7 +13,13 @@ Modules:
 * :mod:`repro.core.prelim` — Algorithm 4, prelim-l OS generation with
   Avoidance Conditions 1 and 2;
 * :mod:`repro.core.brute_force` — literal exponential optimum (test oracle);
+* :mod:`repro.core.registry` — open algorithm/backend registries (plugins);
+* :mod:`repro.core.options` — typed query options (:class:`QueryOptions`,
+  the :class:`Algorithm`/:class:`Source`/:class:`Backend` enums,
+  :class:`ResultStats`);
 * :mod:`repro.core.engine` — the public query engine: keyword → size-l OSs;
+* :mod:`repro.core.builder` — :class:`EngineBuilder`, the single
+  construction path for engines and sessions;
 * :mod:`repro.core.snippet` — word/attribute-budget summaries (Section 7
   future work);
 * :mod:`repro.core.topk` — ranking of result OS sets (Section 7 future work);
@@ -35,7 +41,27 @@ from repro.core.bottom_up import bottom_up_size_l
 from repro.core.top_path import top_path_size_l
 from repro.core.prelim import PrelimStats, generate_prelim_os
 from repro.core.brute_force import brute_force_size_l
+from repro.core.registry import (
+    ALGORITHM_REGISTRY,
+    BACKEND_REGISTRY,
+    Registry,
+    algorithm_names,
+    backend_names,
+    get_algorithm,
+    get_backend_factory,
+    register_algorithm,
+    register_backend,
+)
+from repro.core.options import (
+    Algorithm,
+    Backend,
+    QueryOptions,
+    ResultStats,
+    Source,
+    resolve_options,
+)
 from repro.core.engine import KeywordResult, SizeLEngine
+from repro.core.builder import EngineBuilder, build_named_dataset
 from repro.core.snippet import word_budget_summary
 from repro.core.topk import rank_data_subjects, rank_by_summary_importance
 from repro.core.analysis import (
@@ -62,6 +88,23 @@ __all__ = [
     "brute_force_size_l",
     "SizeLEngine",
     "KeywordResult",
+    "Registry",
+    "ALGORITHM_REGISTRY",
+    "BACKEND_REGISTRY",
+    "register_algorithm",
+    "register_backend",
+    "algorithm_names",
+    "backend_names",
+    "get_algorithm",
+    "get_backend_factory",
+    "Algorithm",
+    "Backend",
+    "Source",
+    "QueryOptions",
+    "ResultStats",
+    "resolve_options",
+    "EngineBuilder",
+    "build_named_dataset",
     "word_budget_summary",
     "rank_data_subjects",
     "rank_by_summary_importance",

@@ -1,0 +1,154 @@
+"""EngineBuilder — the single construction path for engines and sessions.
+
+The CLI, the benchmark fixtures, and every example used to copy-paste
+``SizeLEngine(db, {root: gds, ...}, store)`` wiring; they now all build
+through here.  Three entry points:
+
+* :meth:`EngineBuilder.from_dataset` — any dataset object exposing
+  ``db`` / ``default_gds()`` / ``default_store()`` (the synthetic DBLP and
+  TPC-H datasets do);
+* :meth:`EngineBuilder.named` — the CLI's on-the-fly ``"dblp"`` /
+  ``"tpch"`` databases, deterministic under ``seed`` and sized by
+  ``scale``;
+* the fluent ``with_*`` methods — custom databases (see
+  ``examples/custom_database.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import SizeLEngine
+from repro.core.options import QueryOptions
+from repro.datagraph.graph import DataGraph
+from repro.db.database import Database
+from repro.errors import SummaryError
+from repro.ranking.store import ImportanceStore
+from repro.schema_graph.gds import GDS
+
+#: Datasets :meth:`EngineBuilder.named` can synthesise on the fly.
+NAMED_DATASETS = ("dblp", "tpch")
+
+
+def build_named_dataset(name: str, *, seed: int = 7, scale: float = 1.0) -> Any:
+    """Synthesise one of the demo databases (deterministic under seed)."""
+    if name == "dblp":
+        from repro.datasets.dblp import DBLPConfig, generate_dblp
+
+        return generate_dblp(
+            DBLPConfig(
+                n_authors=max(30, int(300 * scale)),
+                n_papers=max(60, int(800 * scale)),
+                seed=seed,
+            )
+        )
+    if name == "tpch":
+        from repro.datasets.tpch import TPCHConfig, generate_tpch
+
+        return generate_tpch(TPCHConfig(scale_factor=0.003 * scale, seed=seed))
+    raise SummaryError(
+        f"unknown dataset {name!r}; choose from {list(NAMED_DATASETS)}"
+    )
+
+
+class EngineBuilder:
+    """Fluent builder for :class:`~repro.core.engine.SizeLEngine` and
+    :class:`~repro.session.Session`."""
+
+    def __init__(self) -> None:
+        self._db: Database | None = None
+        self._gds: dict[str, GDS] = {}
+        self._store: ImportanceStore | None = None
+        self._theta: float = 0.7
+        self._data_graph: DataGraph | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+    def with_database(self, db: Database) -> "EngineBuilder":
+        self._db = db
+        return self
+
+    def with_gds(self, root: str, gds: GDS) -> "EngineBuilder":
+        """Register the (unpruned) G_DS of one R_DS table."""
+        self._gds[root] = gds
+        return self
+
+    def with_store(self, store: ImportanceStore) -> "EngineBuilder":
+        self._store = store
+        return self
+
+    def with_theta(self, theta: float) -> "EngineBuilder":
+        self._theta = theta
+        return self
+
+    def with_data_graph(self, data_graph: DataGraph) -> "EngineBuilder":
+        self._data_graph = data_graph
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prefab configurations
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Any,
+        *,
+        store: ImportanceStore | None = None,
+        theta: float = 0.7,
+    ) -> "EngineBuilder":
+        """Configure from a dataset's presets; ``store=None`` computes the
+        dataset's default ranking (ObjectRank for DBLP, ValueRank for
+        TPC-H)."""
+        builder = cls().with_database(dataset.db).with_theta(theta)
+        for root, gds in dataset.default_gds().items():
+            builder.with_gds(root, gds)
+        return builder.with_store(
+            store if store is not None else dataset.default_store()
+        )
+
+    @classmethod
+    def named(
+        cls,
+        name: str,
+        *,
+        seed: int = 7,
+        scale: float = 1.0,
+        store: ImportanceStore | None = None,
+        theta: float = 0.7,
+    ) -> "EngineBuilder":
+        """Configure from one of the on-the-fly demo databases."""
+        dataset = build_named_dataset(name, seed=seed, scale=scale)
+        return cls.from_dataset(dataset, store=store, theta=theta)
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+    def build(self) -> SizeLEngine:
+        if self._db is None:
+            raise SummaryError("EngineBuilder: no database configured")
+        if not self._gds:
+            raise SummaryError(
+                "EngineBuilder: no G_DS registered; add at least one via "
+                "with_gds(root, gds)"
+            )
+        if self._store is None:
+            raise SummaryError("EngineBuilder: no importance store configured")
+        return SizeLEngine(
+            self._db,
+            dict(self._gds),
+            self._store,
+            theta=self._theta,
+            data_graph=self._data_graph,
+        )
+
+    def build_session(
+        self,
+        *,
+        cache_size: int = 64,
+        defaults: QueryOptions | None = None,
+    ) -> "Any":
+        """Build the engine wrapped in a :class:`~repro.session.Session`."""
+        from repro.session import Session
+
+        return Session(self.build(), cache_size=cache_size, defaults=defaults)

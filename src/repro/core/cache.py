@@ -4,33 +4,45 @@ The paper's conclusion: "the general case ... prevents the incremental
 computation of a size-l OS from the optimal size-(l−1) OS, limiting
 pre-computation or caching approaches" — but the *family analysis*
 (:mod:`repro.core.analysis`) shows consecutive optima overlap heavily, so a
-cache that stores complete OSs and memoises per-(subject, l, algorithm)
-results still removes almost all repeated work in interactive exploration
+cache that stores complete OSs and memoises per-(subject, options) results
+still removes almost all repeated work in interactive exploration
 (the user sliding an l-slider re-hits the same subject over and over).
 
-:class:`SummaryCache` wraps a :class:`~repro.core.engine.SizeLEngine`:
+:class:`SummaryCache` is the caching layer a
+:class:`~repro.session.Session` owns over its
+:class:`~repro.core.engine.SizeLEngine`:
 
 * complete OSs are cached per (R_DS table, row) — generation dominates the
   end-to-end cost (Figure 10(f)), so this is the big win;
-* size-l results are memoised per (subject, l, algorithm);
+* size-l results are memoised per (subject, l, algorithm, source, backend);
 * the databases in this library are append-only, so entries never go stale
   mid-session; :meth:`invalidate` supports explicit refresh after loads.
+
+All algorithm dispatch flows through :mod:`repro.core.registry`, and
+options are validated *before* any OS generation (a bad algorithm name
+never costs a complete-OS traversal).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 
 from repro.core.engine import SizeLEngine
+from repro.core.options import Algorithm, Backend, QueryOptions, ResultStats, Source
 from repro.core.os_tree import ObjectSummary, SizeLResult
+from repro.core.registry import get_algorithm
+
+#: Memo key of a size-l result: (l, algorithm, source, backend, depth_limit).
+ResultKey = tuple[int, str, str, str, "int | None"]
 
 
 class SummaryCache:
     """An LRU cache of complete OSs and size-l results over an engine.
 
     ``max_subjects`` bounds the number of cached complete OSs (they are the
-    memory-heavy part); size-l results are small and kept per cached
-    subject, evicted together with it.
+    memory-heavy part); size-l results are small and kept per subject,
+    evicted together with its tree.
     """
 
     def __init__(self, engine: SizeLEngine, max_subjects: int = 64) -> None:
@@ -39,7 +51,11 @@ class SummaryCache:
         self.engine = engine
         self.max_subjects = max_subjects
         self._trees: OrderedDict[tuple[str, int], ObjectSummary] = OrderedDict()
-        self._results: dict[tuple[str, int], dict[tuple[int, str], SizeLResult]] = {}
+        # LRU over subjects, like _trees: prelim/database-path results never
+        # enter _trees, so _results must enforce max_subjects on its own.
+        self._results: OrderedDict[
+            tuple[str, int], dict[ResultKey, SizeLResult]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -70,26 +86,69 @@ class SummaryCache:
         rds_table: str,
         row_id: int,
         l: int,  # noqa: E741
-        algorithm: str = "top_path",
+        algorithm: str | Algorithm = Algorithm.TOP_PATH,
     ) -> SizeLResult:
         """Memoised size-l computation on the cached complete OS."""
+        return self.run(
+            rds_table,
+            row_id,
+            QueryOptions(l=l, algorithm=algorithm, source=Source.COMPLETE),
+        )
+
+    def run(
+        self, rds_table: str, row_id: int, options: QueryOptions
+    ) -> SizeLResult:
+        """Memoised generate+summarise pipeline under *options*.
+
+        Validation happens up front (registry lookups, ``l >= 1``) so bad
+        input never triggers an expensive OS generation.  The
+        complete-source / data-graph path reuses the cached complete OS;
+        everything else delegates to the engine and memoises the result.
+        """
+        options = options.normalized()
+        algo_fn = get_algorithm(options.algorithm_name)
         subject = (rds_table, row_id)
-        tree = self.complete_os(rds_table, row_id)
+        result_key = options.cache_key()
         per_subject = self._results.setdefault(subject, {})
-        result_key = (l, algorithm)
+        self._results.move_to_end(subject)
         if result_key in per_subject:
             self.hits += 1
-            return per_subject[result_key]
+            if subject in self._trees:
+                self._trees.move_to_end(subject)
+            # memoised results are shared objects: the flag marks "served
+            # from cache at least once", and callers must not mutate them
+            result = per_subject[result_key]
+            result.stats.cached = True
+            return result
         self.misses += 1
-        from repro.core.engine import ALGORITHMS
-        from repro.errors import SummaryError
-
-        if algorithm not in ALGORITHMS:
-            raise SummaryError(
-                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        reusable_tree = (
+            options.source_name == Source.COMPLETE.value
+            and options.backend_name == Backend.DATAGRAPH.value
+            and options.depth_limit is None
+        )
+        if reusable_tree:
+            gen_start = perf_counter()
+            tree = self.complete_os(rds_table, row_id)
+            gen_seconds = perf_counter() - gen_start
+            algo_start = perf_counter()
+            result = algo_fn(tree, options.l)
+            algo_seconds = perf_counter() - algo_start
+            result.stats = ResultStats.from_counters(
+                result.stats,
+                source=options.source_name,
+                backend=options.backend_name,
+                initial_os_size=tree.size,
+                generation_seconds=gen_seconds,
+                algorithm_seconds=algo_seconds,
             )
-        result = ALGORITHMS[algorithm](tree, l)
-        per_subject[result_key] = result
+        else:
+            result = self.engine.run(rds_table, row_id, options)
+        # complete_os may have evicted this subject's slot while making room
+        self._results.setdefault(subject, {})[result_key] = result
+        self._results.move_to_end(subject)
+        if len(self._results) > self.max_subjects:
+            evicted, _ = self._results.popitem(last=False)
+            self._trees.pop(evicted, None)
         return result
 
     # ------------------------------------------------------------------ #
@@ -103,11 +162,11 @@ class SummaryCache:
             return
         keys = [
             key
-            for key in self._trees
+            for key in set(self._trees) | set(self._results)
             if key[0] == rds_table and (row_id is None or key[1] == row_id)
         ]
         for key in keys:
-            del self._trees[key]
+            self._trees.pop(key, None)
             self._results.pop(key, None)
 
     @property

@@ -2,31 +2,38 @@
 
 Ties every subsystem together: keyword search resolves Data Subjects, the
 θ-pruned and annotated G_DS drives OS generation (complete or prelim-l,
-data-graph or database backend), and the chosen algorithm (DP, Bottom-Up,
-Top-Path) produces the size-l OSs.  This is the paper's end-to-end pipeline:
+over any registered backend), and the chosen algorithm (DP, Bottom-Up,
+Top-Path, or a registered plugin) produces the size-l OSs.  This is the
+paper's end-to-end pipeline:
 
     query "Faloutsos", l=15
       → three Author t_DS matches
       → three size-15 OSs (Example 5).
+
+Algorithm and backend selection flow through :mod:`repro.core.registry`;
+the typed knobs live in :class:`~repro.core.options.QueryOptions`.  The
+legacy string kwargs (``algorithm="top_path"``...) keep working through a
+deprecation shim.  Construction goes through
+:class:`~repro.core.builder.EngineBuilder` / :meth:`SizeLEngine.from_dataset`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from repro.core.bottom_up import bottom_up_size_l
-from repro.core.dp import optimal_size_l
-from repro.core.generation import (
-    DatabaseBackend,
-    DataGraphBackend,
-    GenerationBackend,
-    generate_os,
+from repro.core.generation import GenerationBackend, generate_os
+from repro.core.options import (
+    Backend,
+    QueryOptions,
+    ResultStats,
+    Source,
+    resolve_options,
 )
-from repro.core.os_tree import ObjectSummary, SizeLResult
+from repro.core.os_tree import ObjectSummary, SizeLResult, validate_l
 from repro.core.prelim import PrelimStats, generate_prelim_os
-from repro.core.top_path import top_path_size_l
+from repro.core.registry import get_algorithm, get_backend_factory
 from repro.datagraph.builder import build_data_graph
 from repro.datagraph.graph import DataGraph
 from repro.db.database import Database
@@ -36,15 +43,13 @@ from repro.ranking.store import ImportanceStore, annotate_gds
 from repro.schema_graph.gds import GDS
 from repro.search.keyword import DataSubjectMatch, KeywordSearcher
 
-#: Algorithm registry: name → callable(os_tree, l) -> SizeLResult.
-ALGORITHMS = {
-    "dp": optimal_size_l,
-    "bottom_up": bottom_up_size_l,
-    "top_path": top_path_size_l,
-    "top_path_optimized": lambda os_tree, l: top_path_size_l(
-        os_tree, l, variant="optimized"
-    ),
-}
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import EngineBuilder
+
+#: ``engine.size_l`` keeps the pre-QueryOptions default of summarising the
+#: complete OS; the end-to-end keyword paradigm defaults to prelim.
+_SIZE_L_DEFAULTS = QueryOptions(source=Source.COMPLETE)
+_KEYWORD_DEFAULTS = QueryOptions(source=Source.PRELIM)
 
 
 @dataclass
@@ -72,6 +77,9 @@ class SizeLEngine:
     data_graph:
         Optional prebuilt data graph; built lazily when the data-graph
         backend is first used.
+
+    Prefer :meth:`from_dataset` / :class:`~repro.core.builder.EngineBuilder`
+    over calling this constructor directly.
     """
 
     def __init__(
@@ -95,6 +103,34 @@ class SizeLEngine:
         self.searcher = KeywordSearcher(db, list(self.gds_by_root), store)
 
     # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Any,
+        *,
+        store: ImportanceStore | None = None,
+        theta: float = 0.7,
+        data_graph: DataGraph | None = None,
+    ) -> "SizeLEngine":
+        """Build an engine from a dataset exposing ``db`` / ``default_gds()``
+        / ``default_store()`` (the synthetic DBLP and TPC-H datasets do)."""
+        from repro.core.builder import EngineBuilder
+
+        builder = EngineBuilder.from_dataset(dataset, store=store, theta=theta)
+        if data_graph is not None:
+            builder.with_data_graph(data_graph)
+        return builder.build()
+
+    @classmethod
+    def builder(cls) -> "EngineBuilder":
+        """A fresh :class:`~repro.core.builder.EngineBuilder`."""
+        from repro.core.builder import EngineBuilder
+
+        return EngineBuilder()
+
+    # ------------------------------------------------------------------ #
     # Backends
     # ------------------------------------------------------------------ #
     @property
@@ -103,13 +139,11 @@ class SizeLEngine:
             self._data_graph = build_data_graph(self.db)
         return self._data_graph
 
-    def backend(self, kind: str = "datagraph") -> GenerationBackend:
-        """``"datagraph"`` (fast, in-memory) or ``"database"`` (I/O counted)."""
-        if kind == "datagraph":
-            return DataGraphBackend(self.db, self.data_graph)
-        if kind == "database":
-            return DatabaseBackend(self.query_interface)
-        raise SummaryError(f"unknown backend kind: {kind!r}")
+    def backend(self, kind: str | Backend = Backend.DATAGRAPH) -> GenerationBackend:
+        """Instantiate a registered backend: ``"datagraph"`` (fast,
+        in-memory), ``"database"`` (I/O counted), or any plugin name."""
+        name = kind.value if isinstance(kind, Backend) else kind
+        return get_backend_factory(name)(self)
 
     def gds_for(self, rds_table: str) -> GDS:
         try:
@@ -126,7 +160,7 @@ class SizeLEngine:
         self,
         rds_table: str,
         row_id: int,
-        backend: str = "datagraph",
+        backend: str | Backend = Backend.DATAGRAPH,
         depth_limit: int | None = None,
     ) -> ObjectSummary:
         """Generate the complete OS of a Data Subject (Algorithm 5)."""
@@ -143,15 +177,18 @@ class SizeLEngine:
         rds_table: str,
         row_id: int,
         l: int,  # noqa: E741
-        backend: str = "datagraph",
+        backend: str | Backend = Backend.DATAGRAPH,
+        depth_limit: int | None = None,
     ) -> tuple[ObjectSummary, PrelimStats]:
         """Generate the top-l prelim-l OS of a Data Subject (Algorithm 4)."""
+        validate_l(l)
         return generate_prelim_os(
             row_id,
             self.gds_for(rds_table),
             self.backend(backend),
             self.store,
             l,
+            depth_limit=depth_limit,
         )
 
     # ------------------------------------------------------------------ #
@@ -161,81 +198,141 @@ class SizeLEngine:
         self,
         rds_table: str,
         row_id: int,
-        l: int,  # noqa: E741
-        algorithm: str = "top_path",
-        source: str = "complete",
-        backend: str = "datagraph",
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
     ) -> SizeLResult:
         """Generate + summarise: the full pipeline for one Data Subject.
 
-        ``source`` selects the initial OS the algorithm operates on:
-        ``"complete"`` (Algorithm 5) or ``"prelim"`` (Algorithm 4) — the
-        choice the paper evaluates throughout Section 6.
+        The typed path is ``size_l(table, row, options=QueryOptions(...))``;
+        the legacy string kwargs still work (with a DeprecationWarning).
+        Without an explicit source this summarises the complete OS
+        (Algorithm 5), matching the pre-``QueryOptions`` behaviour.
         """
-        if algorithm not in ALGORITHMS:
-            raise SummaryError(
-                f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-            )
+        opts = resolve_options(
+            options,
+            defaults=_SIZE_L_DEFAULTS,
+            l=l,
+            algorithm=algorithm,
+            source=source,
+            backend=backend,
+        )
+        return self.run(rds_table, row_id, opts)
+
+    def run(
+        self, rds_table: str, row_id: int, options: QueryOptions
+    ) -> SizeLResult:
+        """The generate+summarise pipeline under *options*."""
+        options = options.normalized()  # idempotent; catches typo'd sources
+        algo_fn = get_algorithm(options.algorithm_name)
         gen_start = perf_counter()
         prelim_stats: PrelimStats | None = None
-        if source == "complete":
-            os_tree = self.complete_os(rds_table, row_id, backend=backend)
-        elif source == "prelim":
-            os_tree, prelim_stats = self.prelim_os(rds_table, row_id, l, backend=backend)
+        if options.source_name == Source.COMPLETE.value:
+            os_tree = self.complete_os(
+                rds_table,
+                row_id,
+                backend=options.backend_name,
+                depth_limit=options.depth_limit,
+            )
         else:
-            raise SummaryError(f"unknown source {source!r}; use 'complete' or 'prelim'")
+            os_tree, prelim_stats = self.prelim_os(
+                rds_table,
+                row_id,
+                options.l,
+                backend=options.backend_name,
+                depth_limit=options.depth_limit,
+            )
         gen_seconds = perf_counter() - gen_start
 
-        algo_fn = ALGORITHMS[algorithm]
         algo_start = perf_counter()
-        result = algo_fn(os_tree, l)
+        result = algo_fn(os_tree, options.l)
         algo_seconds = perf_counter() - algo_start
 
-        result.stats.update(
-            {
-                "source": source,
-                "backend": backend,
-                "initial_os_size": os_tree.size,
-                "generation_seconds": gen_seconds,
-                "algorithm_seconds": algo_seconds,
-            }
+        result.stats = ResultStats.from_counters(
+            result.stats,
+            source=options.source_name,
+            backend=options.backend_name,
+            initial_os_size=os_tree.size,
+            generation_seconds=gen_seconds,
+            algorithm_seconds=algo_seconds,
+            prelim=prelim_stats,
         )
-        if prelim_stats is not None:
-            result.stats["prelim"] = prelim_stats
         return result
 
     # ------------------------------------------------------------------ #
     # Keyword queries (the paper's end-to-end paradigm)
     # ------------------------------------------------------------------ #
+    def iter_keyword_query(
+        self,
+        keywords: list[str] | str,
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+        max_results: int | None = None,
+    ) -> Iterator[KeywordResult]:
+        """Stream a size-l OS keyword query, one result per matching DS.
+
+        Options are validated eagerly (before this returns); each
+        :class:`KeywordResult` is yielded as soon as its size-l OS is
+        computed, so the first result is available while later OSs are
+        still being generated.  Results follow the global importance of
+        the t_DS tuple (how the OS paradigm ranks its result list).
+        """
+        opts = resolve_options(
+            options,
+            defaults=_KEYWORD_DEFAULTS,
+            l=l,
+            algorithm=algorithm,
+            source=source,
+            backend=backend,
+            max_results=max_results,
+        )
+        return self._iter_keyword_query(keywords, opts)
+
+    def _iter_keyword_query(
+        self,
+        keywords: list[str] | str,
+        options: QueryOptions,
+        run: "Callable[[str, int, QueryOptions], SizeLResult] | None" = None,
+    ) -> Iterator[KeywordResult]:
+        """Shared keyword-query loop; *run* lets a Session substitute its
+        cached pipeline for the engine's."""
+        run = run if run is not None else self.run
+        matches = self.searcher.search(keywords)
+        if options.max_results is not None:
+            matches = matches[: options.max_results]
+        for match in matches:
+            result = run(match.table, match.row_id, options)
+            yield KeywordResult(match=match, result=result)
+
     def keyword_query(
         self,
         keywords: list[str] | str,
-        l: int,  # noqa: E741
-        algorithm: str = "top_path",
-        source: str = "prelim",
-        backend: str = "datagraph",
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
         max_results: int | None = None,
     ) -> list[KeywordResult]:
-        """Run a size-l OS keyword query: one size-l OS per matching DS.
-
-        Results are ordered by the global importance of the t_DS tuple (how
-        the OS paradigm ranks its result list).
-        """
-        matches = self.searcher.search(keywords)
-        if max_results is not None:
-            matches = matches[:max_results]
-        results: list[KeywordResult] = []
-        for match in matches:
-            result = self.size_l(
-                match.table,
-                match.row_id,
-                l,
-                algorithm=algorithm,
-                source=source,
-                backend=backend,
-            )
-            results.append(KeywordResult(match=match, result=result))
-        return results
+        """Run a size-l OS keyword query: one size-l OS per matching DS."""
+        opts = resolve_options(
+            options,
+            defaults=_KEYWORD_DEFAULTS,
+            l=l,
+            algorithm=algorithm,
+            source=source,
+            backend=backend,
+            max_results=max_results,
+        )
+        return list(self._iter_keyword_query(keywords, opts))
 
     def describe(self) -> dict[str, Any]:
         """A small status snapshot (used by examples and docs)."""

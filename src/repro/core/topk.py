@@ -45,11 +45,12 @@ def rank_by_summary_importance(
     computed; a thresholded early-termination scheme is a further
     optimisation the paper leaves open).
     """
+    from repro.core.options import QueryOptions
+
+    options = QueryOptions(l=l, algorithm=algorithm, source=source).normalized()
     scored: list[tuple[DataSubjectMatch, SizeLResult]] = []
     for match in matches:
-        result = engine.size_l(
-            match.table, match.row_id, l, algorithm=algorithm, source=source
-        )
+        result = engine.run(match.table, match.row_id, options)
         scored.append((match, result))
     scored.sort(key=lambda pair: (-pair[1].importance, pair[0].table, pair[0].row_id))
     return scored if k is None else scored[:k]

@@ -201,6 +201,19 @@ class DBLPDataset:
         )
 
     # ------------------------------------------------------------------ #
+    # Engine-construction presets (EngineBuilder.from_dataset)
+    # ------------------------------------------------------------------ #
+    def default_gds(self) -> dict[str, GDS]:
+        """The paper's R_DS presets keyed by root table."""
+        return {"author": self.author_gds(), "paper": self.paper_gds()}
+
+    def default_store(self):
+        """Global ObjectRank under G_A1 — the paper's default DBLP setting."""
+        from repro.ranking.objectrank import compute_objectrank
+
+        return compute_objectrank(self.db, self.ga1())
+
+    # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
     def author_id_by_name(self, name: str) -> int:

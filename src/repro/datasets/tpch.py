@@ -287,6 +287,19 @@ class TPCHDataset:
             root_label="Supplier",
         )
 
+    # ------------------------------------------------------------------ #
+    # Engine-construction presets (EngineBuilder.from_dataset)
+    # ------------------------------------------------------------------ #
+    def default_gds(self) -> dict[str, GDS]:
+        """The paper's R_DS presets keyed by root table."""
+        return {"customer": self.customer_gds(), "supplier": self.supplier_gds()}
+
+    def default_store(self):
+        """Global ValueRank under G_A1 — the paper's default TPC-H setting."""
+        from repro.ranking.valuerank import compute_valuerank
+
+        return compute_valuerank(self.db, self.ga1())
+
 
 def _tpch_schemas() -> list[TableSchema]:
     text = ColumnType.TEXT

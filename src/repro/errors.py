@@ -79,6 +79,10 @@ class InvalidSizeError(SummaryError):
         self.l = l
 
 
+class RegistryError(ReproError):
+    """Raised for invalid registry operations (duplicate or bad names)."""
+
+
 class SearchError(ReproError):
     """Raised for malformed keyword queries."""
 

@@ -22,17 +22,17 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.bottom_up import bottom_up_size_l
-from repro.core.dp import optimal_size_l
 from repro.core.os_tree import ObjectSummary, SizeLResult
-from repro.core.top_path import top_path_size_l
+from repro.core.registry import get_algorithm
 
 SizeLAlgorithm = Callable[[ObjectSummary, int], SizeLResult]
 
+#: Figure 10's three methods, resolved through the algorithm registry
+#: ("optimal" is the paper's name for the DP).
 ALGORITHMS: dict[str, SizeLAlgorithm] = {
-    "bottom_up": bottom_up_size_l,
-    "top_path": top_path_size_l,
-    "optimal": optimal_size_l,
+    "bottom_up": get_algorithm("bottom_up"),
+    "top_path": get_algorithm("top_path"),
+    "optimal": get_algorithm("dp"),
 }
 
 
@@ -160,8 +160,8 @@ def breakdown_experiment(
     OSs.  Returns one row per (generation or computation) bar.
     """
     algorithms = algorithms or {
-        "bottom_up": bottom_up_size_l,
-        "top_path": top_path_size_l,
+        "bottom_up": get_algorithm("bottom_up"),
+        "top_path": get_algorithm("top_path"),
     }
     # The data graph is an offline index (its build cost is reported by the
     # DGBUILD bench, as in the paper's §6.3); build it before timing so the

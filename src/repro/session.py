@@ -1,0 +1,234 @@
+"""Session — the high-level facade of the public API.
+
+A :class:`Session` owns a :class:`~repro.core.engine.SizeLEngine` and an
+integrated :class:`~repro.core.cache.SummaryCache` (caching is a
+first-class engine concern here, not an external wrapper) and exposes the
+paper's end-to-end paradigm — keyword → t_DS matches → one size-l OS per
+match — in three shapes:
+
+* :meth:`keyword_query` — the batch list (Example 5);
+* :meth:`iter_keyword_query` — a streaming generator that yields each
+  :class:`~repro.core.engine.KeywordResult` as soon as its size-l OS is
+  computed (the first result is available while later OSs are still being
+  generated — the incremental delivery a production service needs);
+* :meth:`size_l_many` — batched subjects under one set of options.
+
+Quickstart::
+
+    from repro import QueryOptions, Session
+    from repro.datasets.dblp import small_dblp
+
+    session = Session.from_dataset(small_dblp())
+    for entry in session.iter_keyword_query("Faloutsos", options=QueryOptions(l=15)):
+        print(entry.result.render())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.cache import SummaryCache
+from repro.core.engine import KeywordResult, SizeLEngine
+from repro.core.options import QueryOptions, resolve_options
+from repro.core.os_tree import ObjectSummary, SizeLResult
+from repro.core.prelim import PrelimStats
+from repro.ranking.store import ImportanceStore
+
+
+class Session:
+    """Engine + cache + default options, behind one façade.
+
+    ``defaults`` seeds every query's :class:`QueryOptions` (the stock
+    defaults follow the paper's end-to-end pipeline: Top-Path over a
+    prelim-l OS); per-call options/kwargs override it.
+    """
+
+    def __init__(
+        self,
+        engine: SizeLEngine,
+        *,
+        cache_size: int = 64,
+        defaults: QueryOptions | None = None,
+    ) -> None:
+        self.engine = engine
+        self.cache = SummaryCache(engine, max_subjects=cache_size)
+        self.defaults = (
+            defaults if defaults is not None else QueryOptions()
+        ).normalized()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Any,
+        *,
+        store: ImportanceStore | None = None,
+        theta: float = 0.7,
+        cache_size: int = 64,
+        defaults: QueryOptions | None = None,
+    ) -> "Session":
+        """Build from a dataset exposing ``db`` / ``default_gds()`` /
+        ``default_store()`` (the synthetic DBLP and TPC-H datasets do)."""
+        from repro.core.builder import EngineBuilder
+
+        return EngineBuilder.from_dataset(
+            dataset, store=store, theta=theta
+        ).build_session(cache_size=cache_size, defaults=defaults)
+
+    @classmethod
+    def from_named(
+        cls,
+        name: str,
+        *,
+        seed: int = 7,
+        scale: float = 1.0,
+        cache_size: int = 64,
+        defaults: QueryOptions | None = None,
+    ) -> "Session":
+        """Build over one of the on-the-fly demo databases ("dblp"/"tpch")."""
+        from repro.core.builder import EngineBuilder
+
+        return EngineBuilder.named(name, seed=seed, scale=scale).build_session(
+            cache_size=cache_size, defaults=defaults
+        )
+
+    # ------------------------------------------------------------------ #
+    # Options
+    # ------------------------------------------------------------------ #
+    def _options(
+        self,
+        l: int | None,  # noqa: E741
+        options: QueryOptions | None,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+        max_results: int | None = None,
+    ) -> QueryOptions:
+        return resolve_options(
+            options,
+            defaults=self.defaults,
+            l=l,
+            algorithm=algorithm,
+            source=source,
+            backend=backend,
+            max_results=max_results,
+            stacklevel=4,  # user -> Session method -> _options -> resolve
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size-l computation (cached)
+    # ------------------------------------------------------------------ #
+    def size_l(
+        self,
+        rds_table: str,
+        row_id: int,
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+    ) -> SizeLResult:
+        """The cached generate+summarise pipeline for one Data Subject."""
+        opts = self._options(l, options, algorithm, source, backend)
+        return self.cache.run(rds_table, row_id, opts)
+
+    def size_l_many(
+        self,
+        subjects: Iterable[tuple[str, int]],
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+    ) -> list[SizeLResult]:
+        """Batched :meth:`size_l` over ``(rds_table, row_id)`` subjects."""
+        opts = self._options(l, options, algorithm, source, backend)
+        return [
+            self.cache.run(rds_table, row_id, opts)
+            for rds_table, row_id in subjects
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Keyword queries
+    # ------------------------------------------------------------------ #
+    def iter_keyword_query(
+        self,
+        keywords: list[str] | str,
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+        max_results: int | None = None,
+    ) -> Iterator[KeywordResult]:
+        """Stream keyword-query results as each size-l OS is computed.
+
+        Options are validated eagerly; computation is lazy and cached."""
+        opts = self._options(l, options, algorithm, source, backend, max_results)
+        return self._iter_keyword_query(keywords, opts)
+
+    def _iter_keyword_query(
+        self, keywords: list[str] | str, options: QueryOptions
+    ) -> Iterator[KeywordResult]:
+        # the engine's loop, with the cached pipeline substituted in
+        return self.engine._iter_keyword_query(
+            keywords, options, run=self.cache.run
+        )
+
+    def keyword_query(
+        self,
+        keywords: list[str] | str,
+        l: int | None = None,  # noqa: E741
+        options: QueryOptions | None = None,
+        *,
+        algorithm: object = None,
+        source: object = None,
+        backend: object = None,
+        max_results: int | None = None,
+    ) -> list[KeywordResult]:
+        """The batch form of :meth:`iter_keyword_query`."""
+        opts = self._options(l, options, algorithm, source, backend, max_results)
+        return list(self._iter_keyword_query(keywords, opts))
+
+    # ------------------------------------------------------------------ #
+    # Pass-throughs and management
+    # ------------------------------------------------------------------ #
+    def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
+        """The (cached) complete OS of a Data Subject."""
+        return self.cache.complete_os(rds_table, row_id)
+
+    def prelim_os(
+        self,
+        rds_table: str,
+        row_id: int,
+        l: int,  # noqa: E741
+        backend: object = None,
+    ) -> tuple[ObjectSummary, PrelimStats]:
+        if backend is None:
+            return self.engine.prelim_os(rds_table, row_id, l)
+        return self.engine.prelim_os(rds_table, row_id, l, backend=backend)
+
+    def invalidate(
+        self, rds_table: str | None = None, row_id: int | None = None
+    ) -> None:
+        self.cache.invalidate(rds_table, row_id)
+
+    def cache_stats(self) -> dict[str, int]:
+        return self.cache.stats()
+
+    def describe(self) -> dict[str, Any]:
+        """The engine snapshot plus cache statistics."""
+        info = self.engine.describe()
+        info["cache"] = self.cache.stats()
+        info["defaults"] = {
+            "l": self.defaults.l,
+            "algorithm": self.defaults.algorithm_name,
+            "source": self.defaults.source_name,
+            "backend": self.defaults.backend_name,
+        }
+        return info

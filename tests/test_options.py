@@ -1,0 +1,173 @@
+"""Tests for the typed options layer: QueryOptions validation, the
+resolve_options deprecation shim, and ResultStats mapping compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import (
+    Algorithm,
+    Backend,
+    QueryOptions,
+    ResultStats,
+    Source,
+    resolve_options,
+)
+from repro.errors import InvalidSizeError, SummaryError
+
+
+class TestQueryOptionsValidation:
+    def test_defaults_follow_the_paper_pipeline(self) -> None:
+        opts = QueryOptions().normalized()
+        assert opts.l == 10
+        assert opts.algorithm is Algorithm.TOP_PATH
+        assert opts.source is Source.PRELIM
+        assert opts.backend is Backend.DATAGRAPH
+
+    def test_strings_coerce_to_enums(self) -> None:
+        opts = QueryOptions(
+            algorithm="dp", source="complete", backend="database"
+        ).normalized()
+        assert opts.algorithm is Algorithm.DP
+        assert opts.source is Source.COMPLETE
+        assert opts.backend is Backend.DATABASE
+
+    @pytest.mark.parametrize("bad_l", [0, -3, 2.5, True, "10", None])
+    def test_bad_l_uniform_message(self, bad_l: object) -> None:
+        with pytest.raises(InvalidSizeError, match="positive integer"):
+            QueryOptions(l=bad_l).normalized()  # type: ignore[arg-type]
+
+    def test_unknown_algorithm_lists_choices(self) -> None:
+        with pytest.raises(SummaryError, match="unknown algorithm 'magic'"):
+            QueryOptions(algorithm="magic").normalized()
+
+    def test_unknown_source(self) -> None:
+        with pytest.raises(SummaryError, match="unknown source"):
+            QueryOptions(source="partial").normalized()
+
+    def test_unknown_backend(self) -> None:
+        with pytest.raises(SummaryError, match="unknown backend"):
+            QueryOptions(backend="ramdisk").normalized()
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_max_results(self, bad: object) -> None:
+        with pytest.raises(SummaryError, match="max_results"):
+            QueryOptions(max_results=bad).normalized()  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, True])
+    def test_bad_depth_limit(self, bad: object) -> None:
+        with pytest.raises(SummaryError, match="depth_limit"):
+            QueryOptions(depth_limit=bad).normalized()  # type: ignore[arg-type]
+
+    def test_non_string_algorithm_rejected(self) -> None:
+        with pytest.raises(SummaryError, match="algorithm"):
+            QueryOptions(algorithm=42).normalized()  # type: ignore[arg-type]
+
+    def test_normalized_is_idempotent(self) -> None:
+        once = QueryOptions(algorithm="top_path", source="prelim").normalized()
+        assert once.normalized() == once
+
+    def test_frozen(self) -> None:
+        with pytest.raises(Exception):
+            QueryOptions().l = 5  # type: ignore[misc]
+
+    def test_replace_returns_new_options(self) -> None:
+        base = QueryOptions(l=5)
+        bumped = base.replace(l=9)
+        assert base.l == 5 and bumped.l == 9
+
+    def test_canonical_names_and_cache_key(self) -> None:
+        opts = QueryOptions(
+            l=7, algorithm=Algorithm.DP, source=Source.COMPLETE
+        ).normalized()
+        assert opts.algorithm_name == "dp"
+        assert opts.source_name == "complete"
+        assert opts.backend_name == "datagraph"
+        assert opts.cache_key() == (7, "dp", "complete", "datagraph", None)
+
+
+class TestResolveOptionsShim:
+    DEFAULTS = QueryOptions()
+
+    def test_string_kwargs_warn_and_map_to_enums(self) -> None:
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            opts = resolve_options(
+                None, defaults=self.DEFAULTS, algorithm="dp", source="complete"
+            )
+        assert opts.algorithm is Algorithm.DP
+        assert opts.source is Source.COMPLETE
+
+    def test_enum_kwargs_stay_silent(self) -> None:
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            opts = resolve_options(
+                None, defaults=self.DEFAULTS, algorithm=Algorithm.BOTTOM_UP
+            )
+        assert opts.algorithm is Algorithm.BOTTOM_UP
+
+    def test_options_plus_legacy_kwargs_rejected(self) -> None:
+        with pytest.raises(SummaryError, match="not both"):
+            resolve_options(
+                QueryOptions(), defaults=self.DEFAULTS, algorithm="dp"
+            )
+
+    def test_l_and_max_results_accompany_options(self) -> None:
+        opts = resolve_options(
+            QueryOptions(algorithm=Algorithm.DP),
+            defaults=self.DEFAULTS,
+            l=3,
+            max_results=2,
+        )
+        assert opts.l == 3 and opts.max_results == 2
+        assert opts.algorithm is Algorithm.DP
+
+    def test_defaults_pass_through(self) -> None:
+        opts = resolve_options(None, defaults=self.DEFAULTS)
+        assert opts == self.DEFAULTS.normalized()
+
+
+class TestResultStatsMapping:
+    def make(self) -> ResultStats:
+        stats = ResultStats(
+            source="complete",
+            backend="datagraph",
+            initial_os_size=42,
+        )
+        stats["heap_dequeues"] = 7
+        return stats
+
+    def test_typed_fields_via_getitem(self) -> None:
+        stats = self.make()
+        assert stats["initial_os_size"] == 42
+        assert stats["source"] == "complete"
+        assert stats["heap_dequeues"] == 7
+
+    def test_counters_and_contains(self) -> None:
+        stats = self.make()
+        assert "heap_dequeues" in stats
+        assert "prelim" not in stats
+        assert stats.get("missing", "x") == "x"
+
+    def test_items_round_trip(self) -> None:
+        stats = self.make()
+        as_dict = dict(stats.items())
+        assert as_dict["backend"] == "datagraph"
+        assert as_dict["heap_dequeues"] == 7
+
+    def test_setitem_and_update(self) -> None:
+        stats = self.make()
+        stats["cached"] = True
+        stats.update({"dp_cells": 99})
+        assert stats.cached is True
+        assert stats.counters["dp_cells"] == 99
+
+    def test_len_and_iter(self) -> None:
+        stats = self.make()
+        assert len(stats) == len(list(stats))
+
+    def test_from_counters(self) -> None:
+        stats = ResultStats.from_counters({"a": 1}, source="prelim")
+        assert stats.counters == {"a": 1}
+        assert stats.source == "prelim"
