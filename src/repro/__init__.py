@@ -31,6 +31,7 @@ from repro.core import (
     Algorithm,
     Backend,
     EngineBuilder,
+    FlatOS,
     KeywordResult,
     ObjectSummary,
     OSNode,
@@ -45,6 +46,7 @@ from repro.core import (
     bottom_up_size_l,
     brute_force_size_l,
     generate_os,
+    generate_os_flat,
     generate_prelim_os,
     optimal_size_l,
     register_algorithm,
@@ -66,6 +68,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ObjectSummary",
     "OSNode",
+    "FlatOS",
     "SizeLEngine",
     "SizeLResult",
     "Session",
@@ -84,6 +87,7 @@ __all__ = [
     "bottom_up_size_l",
     "brute_force_size_l",
     "generate_os",
+    "generate_os_flat",
     "generate_prelim_os",
     "optimal_size_l",
     "top_path_size_l",

@@ -29,12 +29,13 @@ Modules:
   results (Section 7 future work).
 """
 
-from repro.core.os_tree import OSNode, ObjectSummary, SizeLResult
+from repro.core.os_tree import FlatOS, OSNode, ObjectSummary, SizeLResult
 from repro.core.generation import (
     DataGraphBackend,
     DatabaseBackend,
     GenerationBackend,
     generate_os,
+    generate_os_flat,
 )
 from repro.core.dp import optimal_size_l
 from repro.core.bottom_up import bottom_up_size_l
@@ -75,11 +76,13 @@ from repro.core.export import result_to_dict, result_to_json, summary_to_dict
 __all__ = [
     "OSNode",
     "ObjectSummary",
+    "FlatOS",
     "SizeLResult",
     "GenerationBackend",
     "DataGraphBackend",
     "DatabaseBackend",
     "generate_os",
+    "generate_os_flat",
     "optimal_size_l",
     "bottom_up_size_l",
     "top_path_size_l",

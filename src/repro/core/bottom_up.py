@@ -14,13 +14,24 @@ and the paper's Figure 9(b) shows all methods at 100% there.
 
 from __future__ import annotations
 
-from repro.core.os_tree import ObjectSummary, SizeLResult, validate_l
+import numpy as np
+
+from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult, validate_l
 from repro.util.heaps import KeyedMinHeap
 
 
-def bottom_up_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E741
-    """Compute a size-l OS by pruning the least-important leaves."""
+def bottom_up_size_l(
+    os_tree: ObjectSummary | FlatOS, l: int  # noqa: E741
+) -> SizeLResult:
+    """Compute a size-l OS by pruning the least-important leaves.
+
+    Accepts either representation; a columnar
+    :class:`~repro.core.os_tree.FlatOS` runs over parallel arrays (same
+    heap, same insertion order, identical selections).
+    """
     validate_l(l)
+    if isinstance(os_tree, FlatOS):
+        return _bottom_up_size_l_flat(os_tree, l)
     # Depth filter (footnote 1): nodes at depth >= l can never participate.
     alive = {node.uid for node in os_tree.nodes if node.depth < l}
     child_count = {
@@ -52,6 +63,52 @@ def bottom_up_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E7
     return SizeLResult(
         summary=summary,
         selected_uids=alive,
+        importance=summary.total_importance(),
+        algorithm="bottom_up",
+        l=l,
+        stats={"heap_dequeues": dequeues, "heap_enqueues": enqueues},
+    )
+
+
+def _bottom_up_size_l_flat(flat: FlatOS, l: int) -> SizeLResult:  # noqa: E741
+    """Bottom-Up Pruning over :class:`FlatOS` parallel arrays.
+
+    The depth-< l filter is an array prefix, eligible-child counts come from
+    one vectorized subtraction, and leaf weights are array lookups; the heap
+    (and therefore the pruning order, ties included) is the same as the
+    node-based version's.
+    """
+    n_el = flat.eligible_count(l)
+    parent = flat.parent[:n_el].tolist()
+    weight = flat.weight[:n_el].tolist()
+    child_lo, child_hi = flat.eligible_child_bounds(l)
+    child_count = (child_hi - child_lo).tolist()
+
+    heap: KeyedMinHeap[int] = KeyedMinHeap()
+    for leaf, count in enumerate(child_count):
+        if count == 0 and leaf != 0:  # the root is never pushed
+            heap.push(leaf, weight[leaf])
+
+    alive = np.ones(n_el, dtype=bool)
+    alive_count = n_el
+    dequeues = 0
+    enqueues = len(heap)
+    while alive_count > l:
+        index, _score = heap.pop()
+        dequeues += 1
+        alive[index] = False
+        alive_count -= 1
+        p = parent[index]  # the root is never popped, so p >= 0
+        child_count[p] -= 1
+        if child_count[p] == 0 and p != 0:
+            heap.push(p, weight[p])
+            enqueues += 1
+
+    selected = {int(i) for i in np.nonzero(alive)[0]}
+    summary = flat.materialise_subset(selected)
+    return SizeLResult(
+        summary=summary,
+        selected_uids=selected,
         importance=summary.total_importance(),
         algorithm="bottom_up",
         l=l,

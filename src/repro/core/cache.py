@@ -30,11 +30,12 @@ from time import perf_counter
 
 from repro.core.engine import SizeLEngine
 from repro.core.options import Algorithm, Backend, QueryOptions, ResultStats, Source
-from repro.core.os_tree import ObjectSummary, SizeLResult
+from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult
 from repro.core.registry import get_algorithm
 
-#: Memo key of a size-l result: (l, algorithm, source, backend, depth_limit).
-ResultKey = tuple[int, str, str, str, "int | None"]
+#: Memo key of a size-l result:
+#: (l, algorithm, source, backend, depth_limit, flat).
+ResultKey = tuple[int, str, str, str, "int | None", bool]
 
 
 class SummaryCache:
@@ -51,6 +52,9 @@ class SummaryCache:
         self.engine = engine
         self.max_subjects = max_subjects
         self._trees: OrderedDict[tuple[str, int], ObjectSummary] = OrderedDict()
+        # Columnar complete OSs (the flat hot path) cached separately from
+        # the legacy ObjectSummary trees so A/B runs never cross-populate.
+        self._flat_trees: OrderedDict[tuple[str, int], FlatOS] = OrderedDict()
         # LRU over subjects, like _trees: prelim/database-path results never
         # enter _trees, so _results must enforce max_subjects on its own.
         self._results: OrderedDict[
@@ -62,21 +66,43 @@ class SummaryCache:
     # ------------------------------------------------------------------ #
     # Complete OSs
     # ------------------------------------------------------------------ #
-    def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
-        """The cached complete OS of a subject (generated on first use)."""
-        key = (rds_table, row_id)
-        if key in self._trees:
+    def _cached_tree(self, store: OrderedDict, sibling: OrderedDict, key, generate):
+        """Shared LRU body of :meth:`complete_os` / :meth:`complete_os_flat`.
+
+        Evicting a subject removes its entry from both tree stores and its
+        memoised results, so subject-level eviction stays atomic.
+        """
+        if key in store:
             self.hits += 1
-            self._trees.move_to_end(key)
-            return self._trees[key]
+            store.move_to_end(key)
+            return store[key]
         self.misses += 1
-        tree = self.engine.complete_os(rds_table, row_id)
-        self._trees[key] = tree
+        tree = generate(*key)
+        store[key] = tree
         self._results.setdefault(key, {})
-        if len(self._trees) > self.max_subjects:
-            evicted, _tree = self._trees.popitem(last=False)
+        if len(store) > self.max_subjects:
+            evicted, _tree = store.popitem(last=False)
+            sibling.pop(evicted, None)
             self._results.pop(evicted, None)
         return tree
+
+    def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
+        """The cached complete OS of a subject (generated on first use)."""
+        return self._cached_tree(
+            self._trees,
+            self._flat_trees,
+            (rds_table, row_id),
+            self.engine.complete_os,
+        )
+
+    def complete_os_flat(self, rds_table: str, row_id: int) -> FlatOS:
+        """The cached columnar complete OS of a subject (flat hot path)."""
+        return self._cached_tree(
+            self._flat_trees,
+            self._trees,
+            (rds_table, row_id),
+            self.engine.complete_os_flat,
+        )
 
     # ------------------------------------------------------------------ #
     # Size-l results
@@ -115,6 +141,8 @@ class SummaryCache:
             self.hits += 1
             if subject in self._trees:
                 self._trees.move_to_end(subject)
+            if subject in self._flat_trees:
+                self._flat_trees.move_to_end(subject)
             # memoised results are shared objects: the flag marks "served
             # from cache at least once", and callers must not mutate them
             result = per_subject[result_key]
@@ -127,8 +155,15 @@ class SummaryCache:
             and options.depth_limit is None
         )
         if reusable_tree:
+            # normalized() canonicalized flat, so True alone means the
+            # columnar path applies to this option combination.
+            use_flat = options.flat
             gen_start = perf_counter()
-            tree = self.complete_os(rds_table, row_id)
+            tree: ObjectSummary | FlatOS = (
+                self.complete_os_flat(rds_table, row_id)
+                if use_flat
+                else self.complete_os(rds_table, row_id)
+            )
             gen_seconds = perf_counter() - gen_start
             algo_start = perf_counter()
             result = algo_fn(tree, options.l)
@@ -149,6 +184,7 @@ class SummaryCache:
         if len(self._results) > self.max_subjects:
             evicted, _ = self._results.popitem(last=False)
             self._trees.pop(evicted, None)
+            self._flat_trees.pop(evicted, None)
         return result
 
     # ------------------------------------------------------------------ #
@@ -158,20 +194,22 @@ class SummaryCache:
         """Drop cached entries (all, per table, or one subject)."""
         if rds_table is None:
             self._trees.clear()
+            self._flat_trees.clear()
             self._results.clear()
             return
         keys = [
             key
-            for key in set(self._trees) | set(self._results)
+            for key in set(self._trees) | set(self._flat_trees) | set(self._results)
             if key[0] == rds_table and (row_id is None or key[1] == row_id)
         ]
         for key in keys:
             self._trees.pop(key, None)
+            self._flat_trees.pop(key, None)
             self._results.pop(key, None)
 
     @property
     def cached_subjects(self) -> int:
-        return len(self._trees)
+        return len(set(self._trees) | set(self._flat_trees))
 
     def stats(self) -> dict[str, int]:
         return {

@@ -18,13 +18,22 @@ Lemma 1's optimality proof carries over unchanged — and
 
 from __future__ import annotations
 
-from repro.core.os_tree import ObjectSummary, SizeLResult, validate_l
+import numpy as np
+
+from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult, validate_l
 
 NEG_INF = float("-inf")
 
 
-def optimal_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E741
+def optimal_size_l(
+    os_tree: ObjectSummary | FlatOS, l: int  # noqa: E741
+) -> SizeLResult:
     """Compute the optimal size-l OS of *os_tree* (Lemma 1: exact).
+
+    Accepts either representation: a columnar
+    :class:`~repro.core.os_tree.FlatOS` runs the array-based DP (identical
+    selections, vectorized knapsack merges), a legacy
+    :class:`~repro.core.os_tree.ObjectSummary` the original node-based one.
 
     When the OS has at most l reachable nodes (after the depth-< l filter),
     all of them are returned — a size-min(l, n) OS, matching how the paper's
@@ -33,6 +42,8 @@ def optimal_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E741
     the whole OS).
     """
     validate_l(l)
+    if isinstance(os_tree, FlatOS):
+        return _optimal_size_l_flat(os_tree, l)
     eligible = [node for node in os_tree.nodes if node.depth < l]
     eligible_uids = {node.uid for node in eligible}
 
@@ -135,4 +146,134 @@ def optimal_size_l(os_tree: ObjectSummary, l: int) -> SizeLResult:  # noqa: E741
         algorithm="dp",
         l=l,
         stats={"cell_updates": cell_updates, "eligible_nodes": len(eligible)},
+    )
+
+
+#: Budget-axis width above which the knapsack merge switches from scalar
+#: Python (faster for the tiny tables typical of l <= ~50) to numpy slices.
+_VECTOR_MERGE_MIN_CAP = 64
+
+
+def _optimal_size_l_flat(flat: FlatOS, l: int) -> SizeLResult:  # noqa: E741
+    """The DP over :class:`FlatOS` parallel arrays.
+
+    Same recurrence and tie-breaking as the node-based version (children
+    folded in ascending index order, strictly-better-only updates).  All
+    tree-shaped precomputation (eligible prefix, subtree sizes, child
+    ranges, caps) is vectorized; the per-node knapsack merge runs over flat
+    Python lists for small budgets — numpy call overhead dominates below
+    ~64 cells — and switches to vectorized slice updates for large ones.
+    """
+    n_el = flat.eligible_count(l)  # eligible (depth < l) nodes are a prefix
+
+    if n_el <= l:
+        selected = set(range(n_el))
+        summary = flat.materialise_subset(selected)
+        return SizeLResult(
+            summary=summary,
+            selected_uids=selected,
+            importance=summary.total_importance(),
+            algorithm="dp",
+            l=l,
+            stats={"cell_updates": 0, "eligible_nodes": n_el},
+        )
+
+    child_lo_arr, child_hi_arr = flat.eligible_child_bounds(l)
+    child_lo = child_lo_arr.tolist()
+    child_hi = child_hi_arr.tolist()
+    sizes = flat.eligible_subtree_sizes(l)
+    caps = np.minimum(l - flat.depth[:n_el].astype(np.int64), sizes).tolist()
+    weights = flat.weight[:n_el].tolist()
+    # best[i][t]: best weight of a t-node subtree rooted at i (index 0 = -inf)
+    best: list[list[float]] = [None] * n_el  # type: ignore[list-item]
+    choices: list[list[list[int]]] = [None] * n_el  # type: ignore[list-item]
+    cell_updates = 0
+
+    for i in range(n_el - 1, -1, -1):
+        lo, hi = child_lo[i], child_hi[i]
+        if lo == hi:  # leaf: cap is 1, no merge
+            best[i] = [NEG_INF, weights[i]]
+            choices[i] = []
+            continue
+        cap = caps[i]
+        # m[j]: best weight using exactly j nodes from merged child subtrees.
+        m = [NEG_INF] * cap
+        m[0] = 0.0
+        allocations: list[list[int]] = []
+        use_vector = cap >= _VECTOR_MERGE_MIN_CAP
+        for c in range(lo, hi):
+            child_best = best[c]
+            child_cap = len(child_best) - 1
+            top_t = min(child_cap, cap - 1)
+            if use_vector:
+                m_arr = np.array(m)
+                new_m = m_arr.copy()  # t = 0: take nothing from this child
+                alloc_arr = np.zeros(cap, dtype=np.int64)
+                cb = np.array(child_best)
+                for t in range(1, top_t + 1):
+                    candidates = m_arr[: cap - t] + cb[t]
+                    cell_updates += int(np.count_nonzero(m_arr[: cap - t] > NEG_INF))
+                    better = candidates > new_m[t:]
+                    new_m[t:][better] = candidates[better]
+                    alloc_arr[t:][better] = t
+                m = new_m.tolist()
+                allocations.append(alloc_arr.tolist())
+                continue
+            new_m = [NEG_INF] * cap
+            alloc = [0] * cap
+            for j in range(cap):
+                best_val = m[j]  # t = 0: take nothing from this child
+                best_t = 0
+                for t in range(1, min(j, child_cap) + 1):
+                    prev = m[j - t]
+                    if prev == NEG_INF:
+                        continue
+                    val = prev + child_best[t]
+                    cell_updates += 1
+                    if val > best_val:
+                        best_val = val
+                        best_t = t
+                new_m[j] = best_val
+                alloc[j] = best_t
+            m = new_m
+            allocations.append(alloc)
+        w = weights[i]
+        best[i] = [NEG_INF] + [
+            (w + m[k]) if m[k] != NEG_INF else NEG_INF for k in range(cap)
+        ]
+        choices[i] = allocations
+
+    target = min(l, int(sizes[0]))
+    root_best = best[0]
+    if target >= len(root_best) or root_best[target] == NEG_INF:
+        # Cannot happen on a connected tree, but guard against misuse.
+        target = max(t for t in range(1, len(root_best)) if root_best[t] != NEG_INF)
+
+    selected: set[int] = set()
+
+    def reconstruct(index: int, count: int) -> None:
+        selected.add(index)
+        remaining = count - 1
+        allocations = choices[index]
+        first_child = int(child_lo[index])
+        for k in range(len(allocations) - 1, -1, -1):
+            taken = int(allocations[k][remaining])
+            if taken > 0:
+                reconstruct(first_child + k, taken)
+            remaining -= taken
+        assert remaining == 0, "DP reconstruction did not consume its budget"
+
+    reconstruct(0, target)
+    summary = flat.materialise_subset(selected)
+    importance = summary.total_importance()
+    assert abs(importance - root_best[target]) < 1e-6 * max(1.0, abs(importance)), (
+        "DP table value disagrees with reconstructed subtree weight"
+    )
+    return SizeLResult(
+        summary=summary,
+        selected_uids=selected,
+        importance=importance,
+        algorithm="dp",
+        l=l,
+        stats={"cell_updates": cell_updates, "eligible_nodes": n_el},
     )

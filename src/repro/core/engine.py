@@ -23,7 +23,12 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from repro.core.generation import GenerationBackend, generate_os
+from repro.core.generation import (
+    DataGraphBackend,
+    GenerationBackend,
+    generate_os,
+    generate_os_flat,
+)
 from repro.core.options import (
     Backend,
     QueryOptions,
@@ -31,7 +36,7 @@ from repro.core.options import (
     Source,
     resolve_options,
 )
-from repro.core.os_tree import ObjectSummary, SizeLResult, validate_l
+from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult, validate_l
 from repro.core.prelim import PrelimStats, generate_prelim_os
 from repro.core.registry import get_algorithm, get_backend_factory
 from repro.datagraph.builder import build_data_graph
@@ -172,6 +177,26 @@ class SizeLEngine:
             depth_limit=depth_limit,
         )
 
+    def complete_os_flat(
+        self,
+        rds_table: str,
+        row_id: int,
+        depth_limit: int | None = None,
+    ) -> FlatOS:
+        """Generate the complete OS as a columnar :class:`FlatOS`.
+
+        The level-synchronous hot path over the data graph: identical tree
+        (node i == legacy uid i), flat numpy arrays instead of one
+        ``OSNode`` per tuple.  Only the data-graph backend supports this.
+        """
+        return generate_os_flat(
+            row_id,
+            self.gds_for(rds_table),
+            DataGraphBackend(self.db, self.data_graph),
+            self.store,
+            depth_limit=depth_limit,
+        )
+
     def prelim_os(
         self,
         rds_table: str,
@@ -228,9 +253,16 @@ class SizeLEngine:
         """The generate+summarise pipeline under *options*."""
         options = options.normalized()  # idempotent; catches typo'd sources
         algo_fn = get_algorithm(options.algorithm_name)
+        # normalized() canonicalizes flat: True implies complete source,
+        # data-graph backend, and a flat-capable algorithm.
+        use_flat = options.flat
         gen_start = perf_counter()
         prelim_stats: PrelimStats | None = None
-        if options.source_name == Source.COMPLETE.value:
+        if use_flat:
+            os_tree: ObjectSummary | FlatOS = self.complete_os_flat(
+                rds_table, row_id, depth_limit=options.depth_limit
+            )
+        elif options.source_name == Source.COMPLETE.value:
             os_tree = self.complete_os(
                 rds_table,
                 row_id,

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.core.os_tree import ObjectSummary, OSNode
+import numpy as np
+
+from repro.core.os_tree import FlatOS, ObjectSummary, OSNode
 from repro.datagraph.graph import DataGraph
 from repro.db.database import Database
 from repro.db.query import QueryInterface
@@ -37,8 +39,15 @@ class GenerationBackend(Protocol):
     def db(self) -> Database:
         ...  # pragma: no cover
 
-    def children(self, gds_child: GDSNode, parent: OSNode) -> list[int]:
-        """Row ids of *gds_child*-relation tuples joining the parent tuple."""
+    def children(
+        self, gds_child: GDSNode, parent: OSNode
+    ) -> "np.ndarray | list[int]":
+        """Row ids of *gds_child*-relation tuples joining the parent tuple.
+
+        May be a read-only array view into shared adjacency storage (the
+        data-graph backend's zero-copy CSR slices) — callers must not
+        mutate the returned sequence.
+        """
         ...  # pragma: no cover
 
     def children_top(
@@ -79,7 +88,9 @@ class DataGraphBackend:
     def db(self) -> Database:
         return self._db
 
-    def children(self, gds_child: GDSNode, parent: OSNode) -> list[int]:
+    def children(self, gds_child: GDSNode, parent: OSNode) -> np.ndarray:
+        # Read-only: ReverseJoin returns a zero-copy CSR slice (see
+        # DataGraph.children_of); mutating it would corrupt the shared graph.
         assert gds_child.join is not None
         rows = self.data_graph.children_of(
             gds_child.join, parent.table, parent.row_id, _origin_row(gds_child, parent)
@@ -95,14 +106,16 @@ class DataGraphBackend:
         threshold: float,
         limit: int,
     ) -> list[int]:
-        rows = self.children(gds_child, parent)
-        scored = [
-            (store.local_importance(gds_child, row), -row, row)
-            for row in rows
-            if store.local_importance(gds_child, row) > threshold
-        ]
-        scored.sort(reverse=True)
-        return [row for _score, _neg, row in scored[:limit]]
+        rows = np.asarray(self.children(gds_child, parent))
+        if rows.size == 0:
+            return []
+        # One vectorized gather scores every candidate exactly once.
+        scores = store.local_importance_many(gds_child, rows)
+        keep = scores > threshold
+        rows, scores = rows[keep], scores[keep]
+        # Descending score, ties by ascending row id (the legacy order).
+        order = np.lexsort((rows, -scores))[:limit]
+        return [int(row) for row in rows[order]]
 
 
 class DatabaseBackend:
@@ -189,12 +202,11 @@ class DatabaseBackend:
             )
         # RefJoin and JunctionJoin: fetch (one statement) then filter/limit,
         # which is what the single SQL join with the li predicate would do.
-        rows = self.children(gds_child, parent)
-        scored = [
-            (store.local_importance(gds_child, row), -row, row)
-            for row in rows
-            if store.local_importance(gds_child, row) > threshold
-        ]
+        scored = []
+        for row in self.children(gds_child, parent):
+            score = store.local_importance(gds_child, row)
+            if score > threshold:
+                scored.append((score, -row, row))
         scored.sort(reverse=True)
         return [row for _score, _neg, row in scored[:limit]]
 
@@ -228,6 +240,7 @@ def generate_os(
             continue
         for gds_child in node.gds.children:
             for row_id in backend.children(gds_child, node):
+                row_id = int(row_id)  # np scalars from array slices; keep uids JSON-safe
                 child = OSNode(
                     next_uid,
                     gds_child,
@@ -244,3 +257,162 @@ def generate_os(
                         f"tighten theta/depth"
                     )
     return ObjectSummary(root, db=backend.db, kind="complete")
+
+
+def _expand_edge(
+    graph: DataGraph,
+    gds_parent: GDSNode,
+    gds_child: GDSNode,
+    parent_rows: np.ndarray,
+    origin_rows: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand one G_DS edge for a whole frontier group at once.
+
+    *parent_rows* are the rows of every frontier tuple occurrence of
+    *gds_parent*; returns ``(rep, child_rows)`` where ``rep[k]`` is the
+    position within *parent_rows* that produced ``child_rows[k]`` (children
+    of each parent appear consecutively, in join order).  *origin_rows* is
+    the co-author exclusion input: per-parent rows to drop from a
+    ``JunctionJoin`` with ``exclude_origin`` (``None`` when inapplicable).
+    """
+    join = gds_child.join
+    assert join is not None
+    if isinstance(join, RefJoin):
+        adj = graph.adjacency(gds_parent.table, join.fk_column)
+        targets = adj.forward[parent_rows]
+        mask = targets >= 0
+        return np.nonzero(mask)[0], targets[mask]
+    if isinstance(join, ReverseJoin):
+        adj = graph.adjacency(join.child_table, join.fk_column)
+        return adj.backward_many(parent_rows)
+    if isinstance(join, JunctionJoin):
+        into_parent = graph.adjacency(join.junction_table, join.from_column)
+        to_target = graph.adjacency(join.junction_table, join.to_column)
+        rep, junction_rows = into_parent.backward_many(parent_rows)
+        targets = to_target.forward[junction_rows]
+        mask = targets >= 0
+        if origin_rows is not None:
+            mask &= targets != origin_rows[rep]
+        return rep[mask], targets[mask]
+    raise SummaryError(f"unknown join spec: {join!r}")  # pragma: no cover
+
+
+def generate_os_flat(
+    tds_row_id: int,
+    gds: GDS,
+    backend: "DataGraphBackend",
+    store: ImportanceStore,
+    depth_limit: int | None = None,
+    max_nodes: int | None = None,
+) -> FlatOS:
+    """Algorithm 5, columnar: level-synchronous frontier expansion.
+
+    Produces exactly the tree :func:`generate_os` produces (node ``i`` of the
+    :class:`~repro.core.os_tree.FlatOS` is the legacy uid-``i`` node), but
+    expands an entire BFS frontier per G_DS edge with ``np.repeat``/gathers
+    instead of one Python iteration per tuple, and computes each level's
+    weights as one vectorized
+    :meth:`~repro.ranking.store.ImportanceStore.local_importance_many` call.
+    Only the data-graph backend supports this path — the database backend's
+    per-join I/O accounting is inherently per parent tuple.
+    """
+    graph = backend.data_graph
+    gds_nodes = gds.nodes()
+    # Per-level ordering key: parent position within the frontier is the
+    # major key, the G_DS edge's rank among its parent's children the minor
+    # key, so a stable sort reproduces the legacy BFS append order exactly.
+    edge_stride = max((len(n.children) for n in gds_nodes), default=1) or 1
+
+    root_weight = store.local_importance(gds.root, tds_row_id)
+    parent_chunks = [np.array([-1], dtype=np.int32)]
+    depth_chunks = [np.zeros(1, dtype=np.int32)]
+    gid_chunks = [np.array([gds.root.node_id], dtype=np.int32)]
+    row_chunks = [np.array([tds_row_id], dtype=np.int32)]
+    weight_chunks = [np.array([root_weight], dtype=np.float64)]
+
+    frontier_rows = row_chunks[0]
+    frontier_gids = gid_chunks[0]
+    # Position of each frontier node's parent within the *previous* level
+    # (drives the junction-join origin exclusion); the root has none.
+    frontier_parent_pos = np.zeros(1, dtype=np.int64)
+    prev_rows = np.empty(0, dtype=np.int32)
+
+    level_offset = 0  # global index of the first node of the current level
+    total = 1
+    depth = 0
+    while frontier_rows.size:
+        if depth_limit is not None and depth >= depth_limit:
+            break
+        keys: list[np.ndarray] = []
+        parents: list[np.ndarray] = []
+        gids: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        present = set(frontier_gids.tolist())
+        for g in gds_nodes:
+            if not g.children or g.node_id not in present:
+                continue
+            sel = np.nonzero(frontier_gids == g.node_id)[0]
+            parent_rows = frontier_rows[sel]
+            for edge_rank, gds_child in enumerate(g.children):
+                join = gds_child.join
+                excluding = (
+                    isinstance(join, JunctionJoin)
+                    and join.exclude_origin
+                    and g.parent is not None
+                    and g.parent.table == join.target_table
+                )
+                origin_rows = (
+                    prev_rows[frontier_parent_pos[sel]] if excluding else None
+                )
+                rep, child_rows = _expand_edge(
+                    graph, g, gds_child, parent_rows, origin_rows
+                )
+                backend.nodes_visited += int(child_rows.size)
+                if child_rows.size == 0:
+                    continue
+                total += int(child_rows.size)
+                if max_nodes is not None and total > max_nodes:
+                    # Checked per edge, before the level is sorted and
+                    # appended, so the safety valve bounds memory too.
+                    raise SummaryError(
+                        f"OS exceeded max_nodes={max_nodes}; raise the limit "
+                        f"or tighten theta/depth"
+                    )
+                frontier_pos = sel[rep]
+                keys.append(frontier_pos * edge_stride + edge_rank)
+                parents.append(frontier_pos)
+                gids.append(
+                    np.full(child_rows.size, gds_child.node_id, dtype=np.int32)
+                )
+                rows.append(child_rows)
+                weights.append(store.local_importance_many(gds_child, child_rows))
+        if not keys:
+            break
+        order = np.argsort(np.concatenate(keys), kind="stable")
+        level_parent_pos = np.concatenate(parents)[order]
+        level_rows = np.concatenate(rows)[order].astype(np.int32, copy=False)
+        level_count = len(level_rows)
+        parent_chunks.append((level_offset + level_parent_pos).astype(np.int32))
+        depth_chunks.append(np.full(level_count, depth + 1, dtype=np.int32))
+        gid_chunks.append(np.concatenate(gids)[order])
+        row_chunks.append(level_rows)
+        weight_chunks.append(np.concatenate(weights)[order])
+
+        level_offset += frontier_rows.size
+        prev_rows = frontier_rows
+        frontier_rows = level_rows
+        frontier_gids = gid_chunks[-1]
+        frontier_parent_pos = level_parent_pos
+        depth += 1
+
+    return FlatOS(
+        parent=np.concatenate(parent_chunks),
+        depth=np.concatenate(depth_chunks),
+        gds_node_id=np.concatenate(gid_chunks),
+        row_id=np.concatenate(row_chunks),
+        weight=np.concatenate(weight_chunks),
+        gds=gds,
+        db=backend.db,
+        kind="complete",
+    )

@@ -111,6 +111,11 @@ class QueryOptions:
     backend: Backend | str = Backend.DATAGRAPH
     max_results: int | None = None
     depth_limit: int | None = None
+    #: Route complete-OS generation on the data-graph backend through the
+    #: columnar FlatOS hot path (identical results; much faster).  ``False``
+    #: forces the legacy per-node OSNode path — kept selectable for A/B
+    #: comparison and for plugin algorithms that require ObjectSummary.
+    flat: bool = True
 
     def normalized(self) -> "QueryOptions":
         """Validate every field and coerce strings to enums where built-in.
@@ -141,8 +146,27 @@ class QueryOptions:
                 f"depth_limit must be a non-negative integer or None, "
                 f"got {self.depth_limit!r}"
             )
+        if not isinstance(self.flat, bool):
+            raise SummaryError(f"flat must be a bool, got {self.flat!r}")
+        flat = self.flat
+        if flat:
+            # Canonicalize: the flat path only exists for the complete
+            # source on the data-graph backend with a flat-capable
+            # algorithm.  Normalizing it to False everywhere else keeps
+            # "flat" meaning "this query WILL run columnar" and gives
+            # equivalent option sets identical cache keys.
+            algo_name = (
+                algorithm.value if isinstance(algorithm, Algorithm) else algorithm
+            )
+            algo_fn = ALGORITHM_REGISTRY.get(algo_name)
+            if (
+                source is not Source.COMPLETE
+                or backend is not Backend.DATAGRAPH
+                or not getattr(algo_fn, "supports_flat", False)
+            ):
+                flat = False
         return dataclasses.replace(
-            self, algorithm=algorithm, source=source, backend=backend
+            self, algorithm=algorithm, source=source, backend=backend, flat=flat
         )
 
     def replace(self, **changes: Any) -> "QueryOptions":
@@ -165,7 +189,7 @@ class QueryOptions:
         value = self.backend
         return value.value if isinstance(value, Backend) else str(value)
 
-    def cache_key(self) -> tuple[int, str, str, str, int | None]:
+    def cache_key(self) -> tuple[int, str, str, str, int | None, bool]:
         """The memoisation key of a size-l result under these options."""
         return (
             self.l,
@@ -173,6 +197,7 @@ class QueryOptions:
             self.source_name,
             self.backend_name,
             self.depth_limit,
+            self.flat,
         )
 
 

@@ -11,10 +11,12 @@ weights (Equation 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+import numpy as np
 
 from repro.errors import SummaryError
-from repro.schema_graph.gds import GDSNode
+from repro.schema_graph.gds import GDS, GDSNode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.database import Database
@@ -218,6 +220,210 @@ class ObjectSummary:
     def __repr__(self) -> str:
         return (
             f"ObjectSummary(kind={self.kind!r}, root={self.root.label!r}, "
+            f"size={self.size})"
+        )
+
+
+class FlatOS:
+    """A columnar Object Summary: parallel arrays instead of node objects.
+
+    Index ``i`` identifies one tuple occurrence; indices are assigned in
+    the exact BFS order the legacy :class:`OSNode` path assigns uids, so a
+    flat index *is* the corresponding legacy uid and size-l selections are
+    directly comparable across the two representations.
+
+    Invariants (guaranteed by
+    :func:`repro.core.generation.generate_os_flat`):
+
+    * ``parent[0] == -1`` (the t_DS root) and ``parent`` is non-decreasing,
+      so every node's children occupy one contiguous index range;
+    * ``depth`` is non-decreasing, so each BFS level — and the depth-< l
+      eligible set of the size-l algorithms — is a prefix/slice.
+    """
+
+    __slots__ = (
+        "parent",
+        "depth",
+        "gds_node_id",
+        "row_id",
+        "weight",
+        "gds",
+        "db",
+        "kind",
+        "_gds_by_id",
+        "_child_bounds",
+    )
+
+    def __init__(
+        self,
+        parent: np.ndarray,
+        depth: np.ndarray,
+        gds_node_id: np.ndarray,
+        row_id: np.ndarray,
+        weight: np.ndarray,
+        gds: GDS,
+        db: "Database | None" = None,
+        kind: str = "complete",
+    ) -> None:
+        n = len(parent)
+        if not (len(depth) == len(gds_node_id) == len(row_id) == len(weight) == n):
+            raise SummaryError("FlatOS parallel arrays must have equal length")
+        if n == 0 or parent[0] != -1:
+            raise SummaryError("FlatOS must start with the t_DS root (parent -1)")
+        self.parent = parent
+        self.depth = depth
+        self.gds_node_id = gds_node_id
+        self.row_id = row_id
+        self.weight = weight
+        self.gds = gds
+        self.db = db
+        self.kind = kind
+        self._gds_by_id: dict[int, GDSNode] = {
+            node.node_id: node for node in gds.nodes()
+        }
+        self._child_bounds: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Size / structure
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of tuple occurrences (the paper's |OS|)."""
+        return len(self.parent)
+
+    def gds_node(self, index: int) -> GDSNode:
+        """The G_DS node of the tuple occurrence at *index*."""
+        return self._gds_by_id[int(self.gds_node_id[index])]
+
+    def table_of(self, index: int) -> str:
+        return self.gds_node(index).table
+
+    def max_depth(self) -> int:
+        return int(self.depth[-1])  # depth is non-decreasing
+
+    def total_importance(self) -> float:
+        """Im of the whole summary (Equation 2 over all nodes)."""
+        return float(self.weight.sum())
+
+    def child_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Arrays ``(start, end)``: node i's children are ``start[i]:end[i]``.
+
+        Valid because ``parent`` is non-decreasing in BFS order; computed
+        once and cached.
+        """
+        if self._child_bounds is None:
+            n = self.size
+            counts = np.bincount(self.parent[1:], minlength=n)
+            ends = np.cumsum(counts) + 1
+            self._child_bounds = (ends - counts, ends)
+        return self._child_bounds
+
+    def eligible_count(self, l: int) -> int:  # noqa: E741 - paper notation
+        """Nodes at depth < l — a prefix, because ``depth`` is sorted."""
+        return int(np.searchsorted(self.depth, l, side="left"))
+
+    def eligible_child_bounds(
+        self, l: int  # noqa: E741 - paper notation
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`child_bounds` clipped to the depth-< l eligible prefix."""
+        n_el = self.eligible_count(l)
+        starts, ends = self.child_bounds()
+        return np.minimum(starts[:n_el], n_el), np.minimum(ends[:n_el], n_el)
+
+    def eligible_subtree_sizes(self, l: int) -> np.ndarray:  # noqa: E741
+        """Per-node subtree sizes restricted to the eligible prefix.
+
+        One reversed level-synchronous sweep: children of level-d nodes all
+        live in level d+1, so each level is folded into its parents with a
+        single scatter-add.
+        """
+        n_el = self.eligible_count(l)
+        sizes = np.ones(n_el, dtype=np.int64)
+        level_starts = np.searchsorted(self.depth[:n_el], np.arange(1, l + 1))
+        for level in range(len(level_starts) - 1, 0, -1):
+            lo, hi = level_starts[level - 1], level_starts[level]
+            if lo < hi:
+                np.add.at(sizes, self.parent[lo:hi], sizes[lo:hi])
+        return sizes
+
+    def prefix_weights(self, limit: int | None = None) -> np.ndarray:
+        """Root-to-node weight sums, one level-synchronous sweep.
+
+        *limit* restricts the sweep to the first *limit* nodes (a valid cut
+        because BFS order puts every parent before its children) — callers
+        that only need the depth-< l eligible prefix avoid touching the
+        rest of a large OS.
+        """
+        n = self.size if limit is None else min(limit, self.size)
+        sums = np.empty(n, dtype=np.float64)
+        sums[0] = self.weight[0]
+        level_starts = np.searchsorted(
+            self.depth[:n], np.arange(1, self.max_depth() + 2), side="left"
+        )
+        start = 1
+        for end in level_starts:
+            if end > start:
+                sums[start:end] = (
+                    self.weight[start:end] + sums[self.parent[start:end]]
+                )
+            start = end
+            if start >= n:
+                break
+        return sums
+
+    # ------------------------------------------------------------------ #
+    # Interop with the OSNode representation
+    # ------------------------------------------------------------------ #
+    def to_object_summary(self, kind: str | None = None) -> ObjectSummary:
+        """Materialise the full tree as a legacy :class:`ObjectSummary`.
+
+        Keeps rendering, export, and the brute-force oracle working against
+        flat-generated OSs; uid == flat index.
+        """
+        return self.materialise_subset(
+            range(self.size), kind=self.kind if kind is None else kind
+        )
+
+    def materialise_subset(
+        self, selected: Iterable[int], kind: str = "size-l"
+    ) -> ObjectSummary:
+        """Build an :class:`ObjectSummary` restricted to *selected* indices.
+
+        The subset must contain the root (index 0) and be connected, as
+        Definition 1 requires; uids of the produced nodes are flat indices.
+        """
+        order = sorted(int(i) for i in selected)  # ascending == parents first
+        if not order or order[0] != 0:
+            raise SummaryError("size-l subset must contain the OS root (t_DS)")
+        nodes: dict[int, OSNode] = {}
+        for index in order:
+            if index >= self.size:
+                raise SummaryError(f"selected index not present in OS: {index}")
+            parent_index = int(self.parent[index])
+            if parent_index < 0:
+                parent_node = None
+            else:
+                parent_node = nodes.get(parent_index)
+                if parent_node is None:
+                    raise SummaryError(
+                        f"size-l subset is disconnected: node {index} selected "
+                        f"without its parent {parent_index}"
+                    )
+            node = OSNode(
+                index,
+                self.gds_node(index),
+                int(self.row_id[index]),
+                parent_node,
+                float(self.weight[index]),
+            )
+            if parent_node is not None:
+                parent_node.children.append(node)
+            nodes[index] = node
+        return ObjectSummary(nodes[0], db=self.db, kind=kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatOS(kind={self.kind!r}, root={self.gds.root.label!r}, "
             f"size={self.size})"
         )
 

@@ -88,6 +88,7 @@ def generate_prelim_os(
                 rows = backend.children(gds_child, node)
                 stats.full_extractions += 1
             for row_id in rows:
+                row_id = int(row_id)  # np scalars from array slices; keep uids JSON-safe
                 weight = store.local_importance(gds_child, row_id)
                 child = OSNode(next_uid, gds_child, row_id, node, weight)
                 next_uid += 1

@@ -171,6 +171,13 @@ ALGORITHM_REGISTRY.register("bottom_up", bottom_up_size_l)
 ALGORITHM_REGISTRY.register("top_path", top_path_size_l)
 ALGORITHM_REGISTRY.register("top_path_optimized", _top_path_optimized)
 
+# The built-ins accept a columnar FlatOS as well as an ObjectSummary; the
+# engine only routes generation through the flat hot path when the selected
+# algorithm advertises this (plugins default to the legacy representation).
+for _fn in (optimal_size_l, bottom_up_size_l, top_path_size_l, _top_path_optimized):
+    _fn.supports_flat = True  # type: ignore[attr-defined]
+del _fn
+
 
 @register_backend("datagraph")
 def _datagraph_backend(engine: "SizeLEngine") -> GenerationBackend:

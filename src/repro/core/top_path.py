@@ -23,8 +23,11 @@ Two variants are implemented:
 
 from __future__ import annotations
 
-from repro.core.os_tree import ObjectSummary, OSNode, SizeLResult, validate_l
+import numpy as np
+
+from repro.core.os_tree import FlatOS, ObjectSummary, OSNode, SizeLResult, validate_l
 from repro.errors import SummaryError
+from repro.util.arrays import gather_ranges
 
 
 def _prefix_sums(os_tree: ObjectSummary, eligible: set[int]) -> dict[int, float]:
@@ -50,14 +53,21 @@ def _ai(
 
 
 def top_path_size_l(
-    os_tree: ObjectSummary,
+    os_tree: ObjectSummary | FlatOS,
     l: int,  # noqa: E741
     variant: str = "naive",
 ) -> SizeLResult:
-    """Compute a size-l OS by repeatedly adding the best-average path."""
+    """Compute a size-l OS by repeatedly adding the best-average path.
+
+    Accepts either representation; a columnar
+    :class:`~repro.core.os_tree.FlatOS` runs over parallel arrays with
+    vectorized subtree scans (identical selections, ties included).
+    """
     validate_l(l)
     if variant not in ("naive", "optimized"):
         raise SummaryError(f"unknown top-path variant: {variant!r}")
+    if isinstance(os_tree, FlatOS):
+        return _top_path_size_l_flat(os_tree, l, variant)
 
     eligible = {node.uid for node in os_tree.nodes if node.depth < l}
     prefix = _prefix_sums(os_tree, eligible)
@@ -154,6 +164,161 @@ def top_path_size_l(
                     register_root(child)
 
     summary = os_tree.materialise_subset(selected)
+    return SizeLResult(
+        summary=summary,
+        selected_uids=selected,
+        importance=summary.total_importance(),
+        algorithm=f"top_path[{variant}]",
+        l=l,
+        stats={"paths_selected": paths_selected, "nodes_rescanned": nodes_rescanned},
+    )
+
+
+def _top_path_size_l_flat(
+    flat: FlatOS,
+    l: int,  # noqa: E741
+    variant: str,
+) -> SizeLResult:
+    """Update Top-Path-l over :class:`FlatOS` parallel arrays.
+
+    Prefix sums arrive from one level-synchronous sweep, subtree rescans are
+    vectorized gathers over contiguous child ranges, and AI values are array
+    arithmetic; selection order (ties included) matches the node-based
+    version exactly.
+    """
+    n_el = flat.eligible_count(l)
+    parent = flat.parent
+    prefix_arr = flat.prefix_weights(limit=n_el)  # only the eligible prefix is read
+
+    if n_el <= l:
+        selected = set(range(n_el))
+        summary = flat.materialise_subset(selected)
+        return SizeLResult(
+            summary=summary,
+            selected_uids=selected,
+            importance=summary.total_importance(),
+            algorithm=f"top_path[{variant}]",
+            l=l,
+            stats={"paths_selected": 0, "nodes_rescanned": 0},
+        )
+
+    child_lo_arr, child_hi_arr = flat.eligible_child_bounds(l)
+    # Eligible-subtree sizes pick the scan strategy (scalar vs vector) below.
+    subtree_size = flat.eligible_subtree_sizes(l)
+
+    # Scalar lookups run over plain lists: numpy scalar indexing costs more
+    # than it saves for the many tiny subtrees this loop inspects.
+    child_lo = child_lo_arr.tolist()
+    child_hi = child_hi_arr.tolist()
+    depth = flat.depth[:n_el].tolist()
+    prefix = prefix_arr[:n_el].tolist()
+    weight = flat.weight[:n_el].tolist()
+
+    def ai_scalar(node: int, root: int, above_root: float) -> float:
+        return (prefix[node] - above_root) / (depth[node] - depth[root] + 1)
+
+    # s(v) precomputation for the optimized variant: best-AI node (w.r.t.
+    # the *original* root) in each subtree, children folded in index order
+    # with the same strict-better / smaller-index tie rule.
+    best_in_subtree: list[int] = []
+    if variant == "optimized":
+        # above_root of the original root is 0, so AI(v) = prefix / (depth+1)
+        ai0 = (prefix_arr[:n_el] / (np.asarray(depth) + 1.0)).tolist()
+        best_in_subtree = list(range(n_el))
+        for index in range(n_el - 1, -1, -1):
+            best_index = index
+            best_score = ai0[index]
+            for c in range(child_lo[index], child_hi[index]):
+                candidate = best_in_subtree[c]
+                candidate_score = ai0[candidate]
+                if candidate_score > best_score or (
+                    candidate_score == best_score and candidate < best_index
+                ):
+                    best_index = candidate
+                    best_score = candidate_score
+            best_in_subtree[index] = best_index
+
+    nodes_rescanned = 0
+    _VECTOR_SCAN_MIN_NODES = 256  # below this, Python beats numpy call overhead
+
+    def subtree_argmax_vector(root: int) -> tuple[int, float]:
+        """One vectorized gather per level of *root*'s eligible subtree."""
+        members = [np.array([root], dtype=np.int64)]
+        frontier = members[0]
+        while frontier.size:
+            lo = child_lo_arr[frontier]
+            _rep, frontier = gather_ranges(lo, child_hi_arr[frontier] - lo)
+            if frontier.size:
+                members.append(frontier)
+        indices = np.concatenate(members)
+        above_root = prefix[root] - weight[root]
+        scores = (prefix_arr[indices] - above_root) / (
+            flat.depth[indices] - depth[root] + 1
+        )
+        winner = np.lexsort((indices, -scores))[0]  # max AI, ties → min index
+        return int(indices[winner]), float(scores[winner])
+
+    def subtree_argmax(root: int) -> tuple[int, float]:
+        """Scan *root*'s eligible subtree for the node with max AI."""
+        nonlocal nodes_rescanned
+        nodes_rescanned += int(subtree_size[root])
+        if subtree_size[root] >= _VECTOR_SCAN_MIN_NODES:
+            return subtree_argmax_vector(root)
+        above_root = prefix[root] - weight[root]
+        best_index = root
+        best_score = ai_scalar(root, root, above_root)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            score = ai_scalar(node, root, above_root)
+            if score > best_score or (score == best_score and node < best_index):
+                best_index = node
+                best_score = score
+            stack.extend(range(child_lo[node], child_hi[node]))
+        return best_index, best_score
+
+    # Active forest: root index → (best node index, best AI).
+    active: dict[int, tuple[int, float]] = {}
+
+    def register_root(root: int) -> None:
+        if variant == "optimized":
+            best_index = best_in_subtree[root]
+            above_root = prefix[root] - weight[root]
+            active[root] = (best_index, ai_scalar(best_index, root, above_root))
+        else:
+            active[root] = subtree_argmax(root)
+
+    register_root(0)
+    selected = set()
+    paths_selected = 0
+
+    while len(selected) < l:
+        if not active:
+            raise SummaryError("top-path ran out of candidate trees")  # pragma: no cover
+        # Max AI over active roots; ties broken by smallest best-node index.
+        winner_root = min(active, key=lambda idx: (-active[idx][1], active[idx][0]))
+        best_index, _best_score = active.pop(winner_root)
+        path: list[int] = []
+        node = best_index
+        while node >= winner_root:  # ancestors of best down to the tree root
+            path.append(node)
+            if node == winner_root:
+                break
+            node = int(parent[node])
+        path.reverse()
+        needed = l - len(selected)
+        taken = path[:needed]  # "add first l - |size-l OS| nodes of p_i"
+        selected.update(taken)
+        paths_selected += 1
+        if len(selected) >= l:
+            break
+        # Children of removed nodes become roots of new trees.
+        for index in taken:
+            for child in range(int(child_lo[index]), int(child_hi[index])):
+                if child not in selected:
+                    register_root(child)
+
+    summary = flat.materialise_subset(selected)
     return SizeLResult(
         summary=summary,
         selected_uids=selected,

@@ -1,4 +1,12 @@
-"""Builds the data graph from a database (one pass per FK edge)."""
+"""Builds the data graph from a database (one pass per FK edge).
+
+The per-edge pass produces the ``forward`` array (owner row → target row)
+and then derives the CSR reverse direction from it with a counting sort:
+``backward_indptr`` via ``np.bincount`` + ``cumsum`` and
+``backward_indices`` via a stable argsort of the referenced target rows, so
+each target's bucket lists owner rows in ascending order (the order the old
+list-of-lists layout produced by appending during the scan).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,21 @@ import numpy as np
 
 from repro.db.database import Database
 from repro.datagraph.graph import DataGraph, FkAdjacency
+
+
+def _csr_from_forward(
+    forward: np.ndarray, n_targets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert ``forward`` into CSR (indptr, indices) over target rows."""
+    valid = forward >= 0
+    owner_rows = np.nonzero(valid)[0]
+    targets = forward[valid]
+    counts = np.bincount(targets, minlength=n_targets)
+    indptr = np.zeros(n_targets + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(targets, kind="stable")
+    indices = owner_rows[order].astype(np.int32)
+    return indptr, indices
 
 
 def build_data_graph(db: Database) -> DataGraph:
@@ -22,21 +45,25 @@ def build_data_graph(db: Database) -> DataGraph:
         owner = db.table(owner_name)
         target = db.table(fk.ref_table)
         col_idx = owner.schema.column_index(fk.column)
-        forward = np.full(len(owner), -1, dtype=np.int64)
-        backward: list[list[int]] = [[] for _ in range(len(target))]
+        forward = np.full(len(owner), -1, dtype=np.int32)
         for row_id, row in owner.scan():
             ref = row[col_idx]
             if ref is None:
                 continue
-            target_row = target.row_id_for_pk(ref)
-            forward[row_id] = target_row
-            backward[target_row].append(row_id)
+            forward[row_id] = target.row_id_for_pk(ref)
+        indptr, indices = _csr_from_forward(forward, len(target))
+        # children_of hands out zero-copy views into these arrays; freezing
+        # them turns any accidental caller mutation into an immediate error.
+        forward.flags.writeable = False
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
         adjacencies[(owner_name, fk.column)] = FkAdjacency(
             owner=owner_name,
             column=fk.column,
             target=fk.ref_table,
             forward=forward,
-            backward=backward,
+            backward_indptr=indptr,
+            backward_indices=indices,
         )
     return DataGraph(adjacencies)
 

@@ -1,0 +1,24 @@
+"""Shared numpy array idioms for the columnar hot path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_ranges(starts: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the integer ranges ``[starts[i], starts[i] + counts[i])``.
+
+    Returns ``(rep, values)``: ``values`` is the concatenation of every
+    range and ``rep[k]`` is the position ``i`` that produced ``values[k]``.
+    This is the CSR multi-row expansion at the heart of frontier-at-a-time
+    traversal (one ``np.repeat`` + one ``arange`` instead of a Python loop).
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    rep = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+    ends_cum = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends_cum - counts, counts)
+    return rep, np.repeat(starts, counts) + offsets

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.datagraph.builder import build_data_graph, timed_build
@@ -20,9 +21,35 @@ class TestBuild:
         assert seconds >= 0
         assert graph.edge_count > 0
 
-    def test_approx_size_positive(self, dblp) -> None:
+    def test_size_bytes_exact(self, dblp) -> None:
         graph = build_data_graph(dblp.db)
-        assert graph.approx_size_bytes() > 0
+        expected = sum(
+            adj.forward.nbytes + adj.backward_indptr.nbytes + adj.backward_indices.nbytes
+            for adj in graph._adj.values()
+        )
+        assert graph.size_bytes() == expected > 0
+        assert graph.approx_size_bytes() == expected  # compat alias, now exact
+
+    def test_csr_buckets_match_forward(self, dblp) -> None:
+        graph = build_data_graph(dblp.db)
+        adj = graph.adjacency("writes", "paper_id")
+        for target_row in range(len(dblp.db.table("paper"))):
+            bucket = adj.backward(target_row)
+            assert list(bucket) == sorted(bucket)  # ascending owner rows
+            assert all(adj.forward[owner] == target_row for owner in bucket)
+        assert adj.backward_indices.size == int((adj.forward >= 0).sum())
+
+    def test_backward_many_matches_per_row(self, dblp) -> None:
+        graph = build_data_graph(dblp.db)
+        adj = graph.adjacency("writes", "author_id")
+        targets = np.arange(len(dblp.db.table("author")))
+        rep, owners = adj.backward_many(targets)
+        flat = [
+            (int(t_pos), int(owner))
+            for t_pos, t in enumerate(targets)
+            for owner in adj.backward(int(t))
+        ]
+        assert list(zip(rep.tolist(), owners.tolist())) == flat
 
     def test_unknown_adjacency_raises(self, dblp) -> None:
         graph = build_data_graph(dblp.db)
@@ -42,7 +69,7 @@ class TestChildrenOf:
         for row_id in range(5):
             children = graph.children_of(join, "paper", row_id)
             expected_pk = paper.value(row_id, "year_id")
-            assert children == [year_table.row_id_for_pk(expected_pk)]
+            assert list(children) == [year_table.row_id_for_pk(expected_pk)]
 
     def test_reverse_join(self, dblp, graph) -> None:
         join = ReverseJoin(child_table="writes", fk_column="paper_id")
@@ -53,7 +80,13 @@ class TestChildrenOf:
             rid for rid, row in writes.scan()
             if row[writes.schema.column_index("paper_id")] == paper_pk
         ]
-        assert graph.children_of(join, "paper", 0) == expected
+        assert list(graph.children_of(join, "paper", 0)) == expected
+
+    def test_reverse_join_is_zero_copy(self, dblp, graph) -> None:
+        join = ReverseJoin(child_table="writes", fk_column="paper_id")
+        children = graph.children_of(join, "paper", 0)
+        adj = graph.adjacency("writes", "paper_id")
+        assert children.base is adj.backward_indices  # a view, not a copy
 
     def test_junction_join(self, dblp, graph) -> None:
         join = JunctionJoin(
@@ -72,7 +105,7 @@ class TestChildrenOf:
             for _rid, row in writes.scan()
             if row[writes.schema.column_index("author_id")] == author_pk
         ]
-        assert children == expected
+        assert list(children) == expected
 
     def test_junction_join_excludes_origin(self, dblp, graph) -> None:
         join = JunctionJoin(
@@ -103,5 +136,5 @@ class TestChildrenOf:
             for _rid, row in cites_table.scan()
             if row[cites_table.schema.column_index("citing_id")] == pk
         ]
-        assert outgoing == expected_out
+        assert list(outgoing) == expected_out
         assert set(outgoing) != set(incoming) or not outgoing

@@ -1,0 +1,163 @@
+"""Property tests: the columnar flat path is exactly the legacy path.
+
+Over randomized databases (tiny synthetic DBLP instances parameterised by a
+hypothesis-drawn seed, with randomized importance scores), the columnar
+pipeline — ``generate_os_flat`` + the flat size-l algorithms — must produce
+
+* the same tree node-for-node (flat index i == legacy uid i),
+* identical size-l selections and total importance as the legacy
+  ``OSNode`` path across dp, bottom_up, and both top_path variants, and
+* the brute-force-optimal (table, row_id) selection for small l.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute_force import brute_force_size_l
+from repro.core.bottom_up import bottom_up_size_l
+from repro.core.dp import optimal_size_l
+from repro.core.engine import SizeLEngine
+from repro.core.options import Algorithm, QueryOptions, Source
+from repro.core.top_path import top_path_size_l
+from repro.datasets.dblp import DBLPConfig, generate_dblp
+from repro.ranking.store import ImportanceStore
+
+#: OSs above this size make the exponential brute-force oracle too slow.
+BRUTE_FORCE_MAX_NODES = 45
+
+ALGORITHMS = [
+    ("dp", lambda tree, l: optimal_size_l(tree, l)),
+    ("bottom_up", lambda tree, l: bottom_up_size_l(tree, l)),
+    ("top_path", lambda tree, l: top_path_size_l(tree, l)),
+    ("top_path_opt", lambda tree, l: top_path_size_l(tree, l, variant="optimized")),
+]
+
+
+@lru_cache(maxsize=32)
+def _engine(seed: int) -> SizeLEngine:
+    """A tiny randomized database + randomized importances under *seed*."""
+    dataset = generate_dblp(
+        DBLPConfig(
+            n_authors=10,
+            n_papers=16,
+            n_conferences=3,
+            mean_authors_per_paper=1.8,
+            mean_citations_per_paper=1.5,
+            seed=seed,
+        )
+    )
+    rng = np.random.default_rng(seed * 7919 + 13)
+    store = ImportanceStore(
+        {
+            name: rng.uniform(0.05, 10.0, len(dataset.db.table(name)))
+            for name in dataset.db.table_names
+        }
+    )
+    return SizeLEngine(
+        dataset.db,
+        {"author": dataset.author_gds(), "paper": dataset.paper_gds()},
+        store,
+    )
+
+
+def _tuple_multiset(result) -> list[tuple[str, int]]:
+    """Selected tuples as a (table, row_id) multiset.
+
+    Compared at table granularity, not G_DS label: the same tuple reached
+    via two labels of equal affinity (a paper as PaperCites vs PaperCitedBy)
+    is an exact weight tie, and equally-optimal selections may legitimately
+    differ in which occurrence they keep.
+    """
+    return sorted(
+        (node.table, node.row_id) for node in result.summary.nodes
+    )
+
+
+class TestFlatEqualsLegacy:
+    @settings(max_examples=40, deadline=None, database=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=15),
+        subject=st.integers(min_value=0, max_value=9),
+        l=st.integers(min_value=1, max_value=6),
+        rds=st.sampled_from(["author", "paper"]),
+    )
+    def test_flat_pipeline_matches_legacy_and_brute_force(
+        self, seed: int, subject: int, l: int, rds: str  # noqa: E741
+    ) -> None:
+        engine = _engine(seed)
+        legacy = engine.complete_os(rds, subject)
+        flat = engine.complete_os_flat(rds, subject)
+
+        # The generated tree is identical node-for-node (index == uid).
+        assert flat.size == legacy.size
+        for node in legacy.nodes:
+            i = node.uid
+            assert int(flat.row_id[i]) == node.row_id
+            assert int(flat.depth[i]) == node.depth
+            assert int(flat.parent[i]) == (
+                -1 if node.parent is None else node.parent.uid
+            )
+            assert flat.gds_node(i) is node.gds
+            assert float(flat.weight[i]) == pytest.approx(node.weight)
+
+        # Identical selections and importance for every size-l algorithm.
+        for name, algo in ALGORITHMS:
+            legacy_result = algo(legacy, l)
+            flat_result = algo(flat, l)
+            assert flat_result.selected_uids == legacy_result.selected_uids, name
+            assert flat_result.importance == pytest.approx(
+                legacy_result.importance
+            ), name
+            assert _tuple_multiset(flat_result) == _tuple_multiset(
+                legacy_result
+            ), name
+
+        # The flat DP stays brute-force optimal (randomized weights make the
+        # optimum unique with probability 1, so the selections match too).
+        if flat.size <= BRUTE_FORCE_MAX_NODES:
+            brute = brute_force_size_l(legacy, l)
+            flat_dp = optimal_size_l(flat, l)
+            assert flat_dp.importance == pytest.approx(brute.importance)
+            assert _tuple_multiset(flat_dp) == _tuple_multiset(brute)
+
+    def test_large_l_exercises_vectorized_branches(self, dblp_engine) -> None:
+        """l large enough for the vectorized DP merge (cap >= 64) and the
+        vectorized top-path subtree scan (>= 256 nodes) — branches the
+        small-l property test can never reach."""
+        legacy = dblp_engine.complete_os("author", 0)
+        flat = dblp_engine.complete_os_flat("author", 0)
+        assert flat.size == legacy.size > 256
+        for l in (80, 150):  # noqa: E741 - paper notation
+            assert min(l, flat.size) > 64  # DP root cap crosses the threshold
+            for _name, algo in ALGORITHMS:
+                legacy_result = algo(legacy, l)
+                flat_result = algo(flat, l)
+                assert flat_result.selected_uids == legacy_result.selected_uids
+                assert flat_result.importance == pytest.approx(
+                    legacy_result.importance
+                )
+
+    @settings(max_examples=15, deadline=None, database=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=7),
+        l=st.integers(min_value=1, max_value=8),
+    )
+    def test_engine_run_flat_flag_is_transparent(
+        self, seed: int, l: int  # noqa: E741
+    ) -> None:
+        """engine.run under flat=True/False returns identical selections."""
+        engine = _engine(seed)
+        base = QueryOptions(
+            l=l, algorithm=Algorithm.TOP_PATH, source=Source.COMPLETE
+        )
+        flat_result = engine.run("author", 3, base.replace(flat=True))
+        legacy_result = engine.run("author", 3, base.replace(flat=False))
+        assert flat_result.selected_uids == legacy_result.selected_uids
+        assert flat_result.importance == pytest.approx(legacy_result.importance)
+        assert flat_result.summary.render() == legacy_result.summary.render()
