@@ -35,6 +35,7 @@ from repro.core import (
     KeywordResult,
     ObjectSummary,
     OSNode,
+    ParallelConfig,
     QueryOptions,
     ResultStats,
     SizeLEngine,
@@ -75,6 +76,7 @@ __all__ = [
     "SummaryCache",
     "KeywordResult",
     "EngineBuilder",
+    "ParallelConfig",
     "QueryOptions",
     "ResultStats",
     "Algorithm",

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro query --database dblp --keywords Faloutsos --l 15
     python -m repro query --database tpch --keywords "Supplier#000001" --l 10
     python -m repro query --database dblp --keywords Faloutsos --backend database
+    python -m repro query --database dblp --keywords Faloutsos --workers 4
     python -m repro gds --database dblp --subject author
     python -m repro analyze --database dblp --subject author --max-l 25
 
@@ -31,7 +32,7 @@ from typing import Sequence
 
 from repro.core.analysis import nesting_profile, optimal_family, stability_profile
 from repro.core.builder import NAMED_DATASETS, EngineBuilder
-from repro.core.options import QueryOptions
+from repro.core.options import ParallelConfig, QueryOptions
 from repro.core.registry import algorithm_names, backend_names
 from repro.errors import SummaryError
 from repro.session import Session
@@ -52,6 +53,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             source=args.source,
             backend=args.backend,
             max_results=args.max_results,
+            parallel=ParallelConfig(
+                workers=args.workers, ordered=not args.unordered
+            ),
         ).normalized()
     except SummaryError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -133,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="OS-generation backend (registry-extensible)",
     )
     query.add_argument("--max-results", type=int, default=3)
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="thread-pool size for the per-subject size-l pipelines "
+        "(1 = serial)",
+    )
+    query.add_argument(
+        "--unordered",
+        action="store_true",
+        help="with --workers > 1, print each result as it completes "
+        "instead of preserving the match ranking",
+    )
     query.set_defaults(func=_cmd_query)
 
     gds = sub.add_parser("gds", help="print an annotated G_DS")

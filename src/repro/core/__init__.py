@@ -56,6 +56,7 @@ from repro.core.registry import (
 from repro.core.options import (
     Algorithm,
     Backend,
+    ParallelConfig,
     QueryOptions,
     ResultStats,
     Source,
@@ -103,6 +104,7 @@ __all__ = [
     "Algorithm",
     "Backend",
     "Source",
+    "ParallelConfig",
     "QueryOptions",
     "ResultStats",
     "resolve_options",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.engine import SizeLEngine
-from repro.core.options import QueryOptions
+from repro.core.options import ParallelConfig, QueryOptions
 from repro.datagraph.graph import DataGraph
 from repro.db.database import Database
 from repro.errors import SummaryError
@@ -147,8 +147,14 @@ class EngineBuilder:
         *,
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> "Any":
         """Build the engine wrapped in a :class:`~repro.session.Session`."""
         from repro.session import Session
 
-        return Session(self.build(), cache_size=cache_size, defaults=defaults)
+        return Session(
+            self.build(),
+            cache_size=cache_size,
+            defaults=defaults,
+            parallel=parallel,
+        )

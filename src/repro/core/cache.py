@@ -18,6 +18,21 @@ still removes almost all repeated work in interactive exploration
 * the databases in this library are append-only, so entries never go stale
   mid-session; :meth:`invalidate` supports explicit refresh after loads.
 
+The cache is **thread-safe** and is the concurrency point of the serving
+layer (:meth:`~repro.session.Session.iter_keyword_query` with
+``workers=N`` fans queries out over it):
+
+* one lock-protected, subject-level LRU book holds a subject's legacy
+  tree, columnar tree, and memoised results together, so eviction is
+  atomic — a subject's memos can never outlive its trees or vice versa;
+* generation is **single-flight**: concurrent requests for the same
+  subject (or the same memo key) block on one in-flight computation
+  instead of duplicating the dominant cost, which is what keeps a
+  thundering herd of identical queries from melting the backend;
+* cache hits return a **per-call** result whose stats are a copy with
+  ``cached=True`` — the memoised object (and the first caller's
+  miss-result) keeps ``cached=False`` forever.
+
 All algorithm dispatch flows through :mod:`repro.core.registry`, and
 options are validated *before* any OS generation (a bad algorithm name
 never costs a complete-OS traversal).
@@ -25,8 +40,13 @@ never costs a complete-OS traversal).
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Callable
 
 from repro.core.engine import SizeLEngine
 from repro.core.options import Algorithm, Backend, QueryOptions, ResultStats, Source
@@ -37,13 +57,66 @@ from repro.core.registry import get_algorithm
 #: (l, algorithm, source, backend, depth_limit, flat).
 ResultKey = tuple[int, str, str, str, "int | None", bool]
 
+#: Subject key: (R_DS table, row id).
+SubjectKey = tuple[str, int]
+
+
+@dataclass
+class _SubjectEntry:
+    """Everything the cache holds for one subject, evicted as one unit."""
+
+    tree: ObjectSummary | None = None
+    flat: FlatOS | None = None
+    results: dict[ResultKey, SizeLResult] = field(default_factory=dict)
+
+
+class _InFlight:
+    """One in-flight generation other threads can wait on (single-flight)."""
+
+    __slots__ = ("event", "value", "error", "stale")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object | None = None
+        self.error: BaseException | None = None
+        #: set by invalidate(): hand the value to waiters, do not cache it
+        self.stale = False
+
+
+def _per_call(result: SizeLResult) -> SizeLResult:
+    """A caller-facing view of a memoised result, marked served-from-cache.
+
+    The tree/selection payload is shared (callers must not mutate it); the
+    stats record is copied so flipping ``cached`` — or a caller poking at
+    timing fields — never reaches the memoised object or earlier callers.
+    """
+    stats = result.stats
+    if isinstance(stats, ResultStats):
+        stats = dataclasses.replace(
+            stats,
+            cached=True,
+            counters=dict(stats.counters),
+            prelim=(
+                dataclasses.replace(stats.prelim)
+                if dataclasses.is_dataclass(stats.prelim)
+                else stats.prelim
+            ),
+        )
+    else:  # legacy dict-shaped stats from plugin algorithms
+        stats = dict(stats)
+        stats["cached"] = True
+    return dataclasses.replace(result, stats=stats)
+
 
 class SummaryCache:
-    """An LRU cache of complete OSs and size-l results over an engine.
+    """A thread-safe LRU cache of complete OSs and size-l results.
 
-    ``max_subjects`` bounds the number of cached complete OSs (they are the
-    memory-heavy part); size-l results are small and kept per subject,
-    evicted together with its tree.
+    ``max_subjects`` bounds the number of cached subjects; a subject's
+    trees (legacy and columnar) and its memoised size-l results live in one
+    LRU slot and are evicted together.  All bookkeeping happens under one
+    lock; generation runs outside it, deduplicated by a single-flight
+    table so each (subject, representation) and each memo key is computed
+    at most once no matter how many threads ask concurrently.
     """
 
     def __init__(self, engine: SizeLEngine, max_subjects: int = 64) -> None:
@@ -51,57 +124,167 @@ class SummaryCache:
             raise ValueError(f"max_subjects must be >= 1, got {max_subjects}")
         self.engine = engine
         self.max_subjects = max_subjects
-        self._trees: OrderedDict[tuple[str, int], ObjectSummary] = OrderedDict()
-        # Columnar complete OSs (the flat hot path) cached separately from
-        # the legacy ObjectSummary trees so A/B runs never cross-populate.
-        self._flat_trees: OrderedDict[tuple[str, int], FlatOS] = OrderedDict()
-        # LRU over subjects, like _trees: prelim/database-path results never
-        # enter _trees, so _results must enforce max_subjects on its own.
-        self._results: OrderedDict[
-            tuple[str, int], dict[ResultKey, SizeLResult]
-        ] = OrderedDict()
+        self._lock = threading.RLock()
+        self._book: OrderedDict[SubjectKey, _SubjectEntry] = OrderedDict()
+        self._inflight: dict[tuple, _InFlight] = {}
         self.hits = 0
         self.misses = 0
+        #: complete-OS generations actually executed (single-flight leaders)
+        self.tree_generations = 0
+        #: size-l pipelines actually executed (single-flight leaders)
+        self.result_computations = 0
+        #: calls that waited on another thread's in-flight computation
+        self.single_flight_waits = 0
+        #: lock acquisitions that found the lock held by another thread
+        self.lock_contention = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Locking / LRU plumbing (callers hold self._lock unless noted)
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _acquire(self):
+        """The cache lock, counting contended acquisitions."""
+        if not self._lock.acquire(blocking=False):
+            self._lock.acquire()
+            self.lock_contention += 1
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def _touch(self, subject: SubjectKey) -> _SubjectEntry:
+        """The subject's entry, created if missing, moved to MRU position."""
+        entry = self._book.get(subject)
+        if entry is None:
+            entry = _SubjectEntry()
+            self._book[subject] = entry
+        else:
+            self._book.move_to_end(subject)
+        return entry
+
+    def _evict_overflow(self) -> None:
+        """Drop LRU subjects until the book respects ``max_subjects``.
+
+        A subject leaves with its trees *and* memos — the unified book is
+        what makes this atomic (the three-store layout this replaces could
+        evict a subject's memos while its tree survived, or vice versa).
+        """
+        while len(self._book) > self.max_subjects:
+            self._book.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Single-flight core
+    # ------------------------------------------------------------------ #
+    def _single_flight(
+        self,
+        flight_key: tuple,
+        lookup: Callable[[], object | None],
+        compute: Callable[[], object],
+        insert: Callable[[object], None],
+    ):
+        """Lookup-or-compute with in-flight deduplication.
+
+        *lookup* runs under the lock and returns the cached value or
+        ``None``; *compute* runs outside the lock (at most once per key
+        across all threads); *insert* runs under the lock after a
+        successful compute.  Waiters receive the leader's value directly —
+        never via a re-lookup, which could miss if the entry was evicted
+        in the instant between insert and wake-up.
+        """
+        with self._acquire():
+            value = lookup()
+            if value is not None:
+                self.hits += 1
+                return value, True
+            flight = self._inflight.get(flight_key)
+            leader = flight is None
+            if leader:
+                self.misses += 1
+                flight = _InFlight()
+                self._inflight[flight_key] = flight
+            else:
+                self.single_flight_waits += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                # Deliberately the leader's exception object itself, matching
+                # concurrent.futures.Future.result() semantics for multiple
+                # waiters; generic exception copying breaks kwargs-only types.
+                raise flight.error
+            return flight.value, True
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._acquire():
+                flight.error = exc
+                self._pop_flight(flight_key, flight)
+            flight.event.set()
+            raise
+        # The value is set before attempting the insert and the wake-up is
+        # in a finally: even if insert()/_evict_overflow() raises (e.g.
+        # MemoryError caching a large tree), waiters still receive the
+        # computed value instead of parking on the event forever.
+        flight.value = value
+        try:
+            with self._acquire():
+                if not flight.stale:  # marked by a concurrent invalidate()
+                    insert(value)
+                    self._evict_overflow()
+        finally:
+            with self._acquire():
+                self._pop_flight(flight_key, flight)
+            flight.event.set()
+        return value, False
+
+    def _pop_flight(self, flight_key: tuple, flight: _InFlight) -> None:
+        """Retire *flight* — only if it still owns its key.
+
+        ``invalidate`` detaches in-flight entries, after which a new leader
+        may occupy the same key; a detached leader finishing late must not
+        knock that successor out of the table.
+        """
+        if self._inflight.get(flight_key) is flight:
+            del self._inflight[flight_key]
 
     # ------------------------------------------------------------------ #
     # Complete OSs
     # ------------------------------------------------------------------ #
-    def _cached_tree(self, store: OrderedDict, sibling: OrderedDict, key, generate):
-        """Shared LRU body of :meth:`complete_os` / :meth:`complete_os_flat`.
+    def _cached_tree(self, subject: SubjectKey, slot: str, generate):
+        """Shared single-flight body of complete_os / complete_os_flat."""
 
-        Evicting a subject removes its entry from both tree stores and its
-        memoised results, so subject-level eviction stays atomic.
-        """
-        if key in store:
-            self.hits += 1
-            store.move_to_end(key)
-            return store[key]
-        self.misses += 1
-        tree = generate(*key)
-        store[key] = tree
-        self._results.setdefault(key, {})
-        if len(store) > self.max_subjects:
-            evicted, _tree = store.popitem(last=False)
-            sibling.pop(evicted, None)
-            self._results.pop(evicted, None)
+        def lookup():
+            entry = self._book.get(subject)
+            if entry is None:
+                return None
+            value = getattr(entry, slot)
+            if value is not None:
+                self._book.move_to_end(subject)
+            return value
+
+        def compute():
+            tree = generate(*subject)
+            with self._acquire():
+                self.tree_generations += 1
+            return tree
+
+        def insert(tree):
+            setattr(self._touch(subject), slot, tree)
+
+        tree, _from_cache = self._single_flight(
+            (subject, slot), lookup, compute, insert
+        )
         return tree
 
     def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
         """The cached complete OS of a subject (generated on first use)."""
-        return self._cached_tree(
-            self._trees,
-            self._flat_trees,
-            (rds_table, row_id),
-            self.engine.complete_os,
-        )
+        return self._cached_tree((rds_table, row_id), "tree", self.engine.complete_os)
 
     def complete_os_flat(self, rds_table: str, row_id: int) -> FlatOS:
         """The cached columnar complete OS of a subject (flat hot path)."""
         return self._cached_tree(
-            self._flat_trees,
-            self._trees,
-            (rds_table, row_id),
-            self.engine.complete_os_flat,
+            (rds_table, row_id), "flat", self.engine.complete_os_flat
         )
 
     # ------------------------------------------------------------------ #
@@ -130,90 +313,137 @@ class SummaryCache:
         input never triggers an expensive OS generation.  The
         complete-source / data-graph path reuses the cached complete OS;
         everything else delegates to the engine and memoises the result.
+
+        A miss returns the memoised object itself (``stats.cached`` stays
+        ``False``); hits — including threads that waited on the miss's
+        in-flight computation — return a per-call copy with a fresh stats
+        record marked ``cached=True``.
         """
         options = options.normalized()
         algo_fn = get_algorithm(options.algorithm_name)
         subject = (rds_table, row_id)
         result_key = options.cache_key()
-        per_subject = self._results.setdefault(subject, {})
-        self._results.move_to_end(subject)
-        if result_key in per_subject:
-            self.hits += 1
-            if subject in self._trees:
-                self._trees.move_to_end(subject)
-            if subject in self._flat_trees:
-                self._flat_trees.move_to_end(subject)
-            # memoised results are shared objects: the flag marks "served
-            # from cache at least once", and callers must not mutate them
-            result = per_subject[result_key]
-            result.stats.cached = True
+
+        def lookup():
+            entry = self._book.get(subject)
+            if entry is None:
+                return None
+            result = entry.results.get(result_key)
+            if result is not None:
+                self._book.move_to_end(subject)
             return result
-        self.misses += 1
+
+        def compute():
+            result = self._compute(algo_fn, rds_table, row_id, options)
+            with self._acquire():
+                self.result_computations += 1
+            return result
+
+        def insert(result):
+            self._touch(subject).results[result_key] = result
+
+        result, from_cache = self._single_flight(
+            (subject, "result", result_key), lookup, compute, insert
+        )
+        return _per_call(result) if from_cache else result
+
+    def _compute(
+        self, algo_fn, rds_table: str, row_id: int, options: QueryOptions
+    ) -> SizeLResult:
+        """One actual generate+summarise pipeline run (outside the lock)."""
         reusable_tree = (
             options.source_name == Source.COMPLETE.value
             and options.backend_name == Backend.DATAGRAPH.value
             and options.depth_limit is None
         )
-        if reusable_tree:
-            # normalized() canonicalized flat, so True alone means the
-            # columnar path applies to this option combination.
-            use_flat = options.flat
-            gen_start = perf_counter()
-            tree: ObjectSummary | FlatOS = (
-                self.complete_os_flat(rds_table, row_id)
-                if use_flat
-                else self.complete_os(rds_table, row_id)
-            )
-            gen_seconds = perf_counter() - gen_start
-            algo_start = perf_counter()
-            result = algo_fn(tree, options.l)
-            algo_seconds = perf_counter() - algo_start
-            result.stats = ResultStats.from_counters(
-                result.stats,
-                source=options.source_name,
-                backend=options.backend_name,
-                initial_os_size=tree.size,
-                generation_seconds=gen_seconds,
-                algorithm_seconds=algo_seconds,
-            )
-        else:
-            result = self.engine.run(rds_table, row_id, options)
-        # complete_os may have evicted this subject's slot while making room
-        self._results.setdefault(subject, {})[result_key] = result
-        self._results.move_to_end(subject)
-        if len(self._results) > self.max_subjects:
-            evicted, _ = self._results.popitem(last=False)
-            self._trees.pop(evicted, None)
-            self._flat_trees.pop(evicted, None)
+        if not reusable_tree:
+            return self.engine.run(rds_table, row_id, options)
+        # normalized() canonicalized flat, so True alone means the
+        # columnar path applies to this option combination.
+        gen_start = perf_counter()
+        tree: ObjectSummary | FlatOS = (
+            self.complete_os_flat(rds_table, row_id)
+            if options.flat
+            else self.complete_os(rds_table, row_id)
+        )
+        gen_seconds = perf_counter() - gen_start
+        algo_start = perf_counter()
+        result = algo_fn(tree, options.l)
+        algo_seconds = perf_counter() - algo_start
+        result.stats = ResultStats.from_counters(
+            result.stats,
+            source=options.source_name,
+            backend=options.backend_name,
+            initial_os_size=tree.size,
+            generation_seconds=gen_seconds,
+            algorithm_seconds=algo_seconds,
+        )
         return result
 
     # ------------------------------------------------------------------ #
     # Management
     # ------------------------------------------------------------------ #
     def invalidate(self, rds_table: str | None = None, row_id: int | None = None) -> None:
-        """Drop cached entries (all, per table, or one subject)."""
-        if rds_table is None:
-            self._trees.clear()
-            self._flat_trees.clear()
-            self._results.clear()
-            return
-        keys = [
-            key
-            for key in set(self._trees) | set(self._flat_trees) | set(self._results)
-            if key[0] == rds_table and (row_id is None or key[1] == row_id)
-        ]
-        for key in keys:
-            self._trees.pop(key, None)
-            self._flat_trees.pop(key, None)
-            self._results.pop(key, None)
+        """Drop cached entries (all, per table, or one subject).
+
+        ``row_id`` without ``rds_table`` is ambiguous (row ids are only
+        unique per table) and raises :class:`ValueError` — it used to be
+        silently ignored, clearing the entire cache.
+        """
+        if rds_table is None and row_id is not None:
+            raise ValueError(
+                "invalidate(row_id=...) requires rds_table; row ids are "
+                "only unique within a table"
+            )
+
+        def affected(subject: SubjectKey) -> bool:
+            return rds_table is None or (
+                subject[0] == rds_table and (row_id is None or subject[1] == row_id)
+            )
+
+        with self._acquire():
+            # Detach matching in-flight computations too: a caller arriving
+            # *after* this invalidate must start a fresh generation, not
+            # inherit a result computed against the pre-refresh data.  The
+            # detached leaders still hand their (stale) value to the
+            # threads already waiting on them, but skip caching it.
+            # Unaffected flights are untouched — a scoped invalidate must
+            # not throw away other subjects' in-flight work.
+            for key in [
+                key for key in self._inflight if affected(key[0])
+            ]:
+                self._inflight[key].stale = True
+                del self._inflight[key]
+            for subject in [s for s in self._book if affected(s)]:
+                del self._book[subject]
 
     @property
     def cached_subjects(self) -> int:
-        return len(set(self._trees) | set(self._flat_trees))
+        """Subjects holding *anything* — trees or memoised results.
+
+        (The pre-unification count looked only at the tree stores and
+        undercounted subjects whose prelim/database-path results were
+        memoised without a cached tree.)
+        """
+        with self._acquire():
+            return len(self._book)
+
+    @property
+    def cached_results(self) -> int:
+        """Memoised size-l results across all cached subjects."""
+        with self._acquire():
+            return sum(len(entry.results) for entry in self._book.values())
 
     def stats(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "cached_subjects": self.cached_subjects,
-        }
+        with self._acquire():  # RLock: the properties re-enter safely
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "cached_subjects": self.cached_subjects,
+                "cached_results": self.cached_results,
+                "tree_generations": self.tree_generations,
+                "result_computations": self.result_computations,
+                "single_flight_waits": self.single_flight_waits,
+                "lock_contention": self.lock_contention,
+                "evictions": self.evictions,
+            }

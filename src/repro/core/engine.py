@@ -19,6 +19,7 @@ deprecation shim.  Construction goes through
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterator
@@ -104,6 +105,7 @@ class SizeLEngine:
         for gds in self.gds_by_root.values():
             annotate_gds(gds, store)
         self._data_graph = data_graph
+        self._data_graph_lock = threading.Lock()
         self.query_interface = QueryInterface(db)
         self.searcher = KeywordSearcher(db, list(self.gds_by_root), store)
 
@@ -141,7 +143,11 @@ class SizeLEngine:
     @property
     def data_graph(self) -> DataGraph:
         if self._data_graph is None:
-            self._data_graph = build_data_graph(self.db)
+            # Double-checked: concurrent Session workers must not each pay
+            # (or race) the one-off CSR build.
+            with self._data_graph_lock:
+                if self._data_graph is None:
+                    self._data_graph = build_data_graph(self.db)
         return self._data_graph
 
     def backend(self, kind: str | Backend = Backend.DATAGRAPH) -> GenerationBackend:
@@ -327,6 +333,20 @@ class SizeLEngine:
         )
         return self._iter_keyword_query(keywords, opts)
 
+    def search_matches(
+        self, keywords: list[str] | str, options: QueryOptions
+    ) -> list[DataSubjectMatch]:
+        """The ranked t_DS matches a keyword query fans out over.
+
+        Applies ``options.max_results`` truncation; this is the shared
+        front half of the keyword pipeline — the serial loop below and the
+        Session's parallel fan-out both start from it.
+        """
+        matches = self.searcher.search(keywords)
+        if options.max_results is not None:
+            matches = matches[: options.max_results]
+        return matches
+
     def _iter_keyword_query(
         self,
         keywords: list[str] | str,
@@ -336,10 +356,7 @@ class SizeLEngine:
         """Shared keyword-query loop; *run* lets a Session substitute its
         cached pipeline for the engine's."""
         run = run if run is not None else self.run
-        matches = self.searcher.search(keywords)
-        if options.max_results is not None:
-            matches = matches[: options.max_results]
-        for match in matches:
+        for match in self.search_matches(keywords, options):
             result = run(match.table, match.row_id, options)
             yield KeywordResult(match=match, result=result)
 

@@ -162,7 +162,7 @@ class DatabaseBackend:
         if isinstance(join, RefJoin):
             ref = parent_table.value(parent.row_id, join.fk_column)
             if ref is None:
-                self.qi.io_accesses += 1  # the lookup still executes
+                self.qi.count_io()  # the lookup still executes
                 return []
             return self.qi.lookup_by_pk(join.target_table, ref)
         parent_pk = parent_table.pk_of_row(parent.row_id)

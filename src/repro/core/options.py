@@ -97,6 +97,42 @@ def _normalize_backend(value: object) -> Backend | str:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """How a :class:`~repro.session.Session` fans a query out over threads.
+
+    ``workers`` is the thread-pool size for per-subject size-l pipelines
+    (``1`` means serial, no pool).  ``ordered=True`` preserves the match
+    ranking (global t_DS importance) in the output stream; ``ordered=False``
+    yields each result the moment its OS is ready, which minimises
+    time-to-first-result under mixed subject sizes.
+
+    Execution knobs only: two queries differing solely in their
+    ``ParallelConfig`` are the *same* query, so this is deliberately not
+    part of :meth:`QueryOptions.cache_key`.
+    """
+
+    workers: int = 1
+    ordered: bool = True
+
+    def normalized(self) -> "ParallelConfig":
+        """Validate both knobs; idempotent."""
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise SummaryError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
+        if not isinstance(self.ordered, bool):
+            raise SummaryError(f"ordered must be a bool, got {self.ordered!r}")
+        return self
+
+    def replace(self, **changes: Any) -> "ParallelConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class QueryOptions:
     """All knobs of a size-l query, validated in one place.
 
@@ -116,6 +152,10 @@ class QueryOptions:
     #: forces the legacy per-node OSNode path — kept selectable for A/B
     #: comparison and for plugin algorithms that require ObjectSummary.
     flat: bool = True
+    #: How a Session fans the per-subject work of this query out over
+    #: threads; ``None`` inherits the Session's default.  Not part of the
+    #: cache key (an execution knob, not a query knob).
+    parallel: ParallelConfig | None = None
 
     def normalized(self) -> "QueryOptions":
         """Validate every field and coerce strings to enums where built-in.
@@ -148,6 +188,13 @@ class QueryOptions:
             )
         if not isinstance(self.flat, bool):
             raise SummaryError(f"flat must be a bool, got {self.flat!r}")
+        if self.parallel is not None:
+            if not isinstance(self.parallel, ParallelConfig):
+                raise SummaryError(
+                    f"parallel must be a ParallelConfig or None, "
+                    f"got {self.parallel!r}"
+                )
+            self.parallel.normalized()
         flat = self.flat
         if flat:
             # Canonicalize: the flat path only exists for the complete

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.db.index import HashIndex
@@ -28,6 +29,7 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Catalog
@@ -95,9 +97,16 @@ class Database:
     def index_on(self, table_name: str, column: str) -> HashIndex:
         """Create (or return the existing) hash index on table.column."""
         key = (table_name, column)
-        if key not in self._indexes:
-            self._indexes[key] = HashIndex(self.table(table_name), column)
-        return self._indexes[key]
+        index = self._indexes.get(key)
+        if index is None:
+            # Double-checked: concurrent Session workers must not each pay
+            # (or race) the O(n) index build on a cold column.
+            with self._index_lock:
+                index = self._indexes.get(key)
+                if index is None:
+                    index = HashIndex(self.table(table_name), column)
+                    self._indexes[key] = index
+        return index
 
     def ensure_fk_indexes(self) -> None:
         """Index every FK column and every referenced PK (loader helper)."""

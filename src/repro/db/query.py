@@ -18,6 +18,7 @@ it returns no results", Section 5.3).
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Any, Callable, Sequence
 
 from repro.db.database import Database
@@ -35,10 +36,22 @@ class QueryInterface:
         self.db = db
         self.io_accesses = 0
         self.rows_fetched = 0
+        # The engine shares one QueryInterface across a Session's worker
+        # threads; += on a plain int loses updates under concurrency, so
+        # counter mutation goes through this lock (the paper's efficiency
+        # experiments read these numbers — they must stay exact).
+        self._counter_lock = threading.Lock()
 
     def reset_counters(self) -> None:
-        self.io_accesses = 0
-        self.rows_fetched = 0
+        with self._counter_lock:
+            self.io_accesses = 0
+            self.rows_fetched = 0
+
+    def count_io(self, rows_fetched: int = 0) -> None:
+        """Record one statement execution (thread-safe)."""
+        with self._counter_lock:
+            self.io_accesses += 1
+            self.rows_fetched += rows_fetched
 
     # ------------------------------------------------------------------ #
     # Statement templates
@@ -48,10 +61,9 @@ class QueryInterface:
 
         Counts one I/O access regardless of result size.
         """
-        self.io_accesses += 1
         index = self.db.index_on(table_name, column)
         row_ids = index.lookup(value)
-        self.rows_fetched += len(row_ids)
+        self.count_io(rows_fetched=len(row_ids))
         return list(row_ids)
 
     def select_top_where_eq(
@@ -70,10 +82,9 @@ class QueryInterface:
         Counts one I/O access even when nothing qualifies — exactly the cost
         behaviour the paper attributes to Avoidance Condition 2.
         """
-        self.io_accesses += 1
         index = self.db.index_on(table_name, column)
         candidates = index.lookup(value)
-        self.rows_fetched += len(candidates)
+        self.count_io(rows_fetched=len(candidates))
         qualifying = [
             (score_of(table_name, row_id), -row_id, row_id)
             for row_id in candidates
@@ -87,11 +98,11 @@ class QueryInterface:
 
     def lookup_by_pk(self, table_name: str, pk_value: Any) -> list[int]:
         """``SELECT * FROM table WHERE pk = value`` (0 or 1 row ids)."""
-        self.io_accesses += 1
         table = self.db.table(table_name)
         if table.has_pk(pk_value):
-            self.rows_fetched += 1
+            self.count_io(rows_fetched=1)
             return [table.row_id_for_pk(pk_value)]
+        self.count_io()
         return []
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,12 @@ match — in three shapes:
   generated — the incremental delivery a production service needs);
 * :meth:`size_l_many` — batched subjects under one set of options.
 
+The Session is also the **serving layer**: pass ``workers=N`` (or a
+:class:`~repro.core.options.ParallelConfig` default) and the per-subject
+size-l pipelines fan out over a thread pool, all funnelled through the
+thread-safe, single-flight :class:`~repro.core.cache.SummaryCache` so
+concurrent queries for the same subject share one generation.
+
 Quickstart::
 
     from repro import QueryOptions, Session
@@ -25,11 +31,13 @@ Quickstart::
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Iterable, Iterator
 
 from repro.core.cache import SummaryCache
 from repro.core.engine import KeywordResult, SizeLEngine
-from repro.core.options import QueryOptions, resolve_options
+from repro.core.options import ParallelConfig, QueryOptions, resolve_options
 from repro.core.os_tree import ObjectSummary, SizeLResult
 from repro.core.prelim import PrelimStats
 from repro.ranking.store import ImportanceStore
@@ -40,7 +48,9 @@ class Session:
 
     ``defaults`` seeds every query's :class:`QueryOptions` (the stock
     defaults follow the paper's end-to-end pipeline: Top-Path over a
-    prelim-l OS); per-call options/kwargs override it.
+    prelim-l OS); per-call options/kwargs override it.  ``parallel`` seeds
+    the fan-out policy the same way: per-call ``workers=`` / ``ordered=``
+    override ``options.parallel``, which overrides the Session default.
     """
 
     def __init__(
@@ -49,12 +59,23 @@ class Session:
         *,
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         self.engine = engine
         self.cache = SummaryCache(engine, max_subjects=cache_size)
         self.defaults = (
             defaults if defaults is not None else QueryOptions()
         ).normalized()
+        self.parallel = (
+            parallel if parallel is not None else ParallelConfig()
+        ).normalized()
+        # One executor per Session, created lazily and reused across
+        # queries — a serving path must not pay N thread spawns + joins
+        # per request.  Grown (never shrunk) when a call asks for more
+        # workers than the current pool holds.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -68,6 +89,7 @@ class Session:
         theta: float = 0.7,
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> "Session":
         """Build from a dataset exposing ``db`` / ``default_gds()`` /
         ``default_store()`` (the synthetic DBLP and TPC-H datasets do)."""
@@ -75,7 +97,9 @@ class Session:
 
         return EngineBuilder.from_dataset(
             dataset, store=store, theta=theta
-        ).build_session(cache_size=cache_size, defaults=defaults)
+        ).build_session(
+            cache_size=cache_size, defaults=defaults, parallel=parallel
+        )
 
     @classmethod
     def from_named(
@@ -86,12 +110,13 @@ class Session:
         scale: float = 1.0,
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> "Session":
         """Build over one of the on-the-fly demo databases ("dblp"/"tpch")."""
         from repro.core.builder import EngineBuilder
 
         return EngineBuilder.named(name, seed=seed, scale=scale).build_session(
-            cache_size=cache_size, defaults=defaults
+            cache_size=cache_size, defaults=defaults, parallel=parallel
         )
 
     # ------------------------------------------------------------------ #
@@ -144,17 +169,132 @@ class Session:
         algorithm: object = None,
         source: object = None,
         backend: object = None,
+        workers: int | None = None,
     ) -> list[SizeLResult]:
-        """Batched :meth:`size_l` over ``(rds_table, row_id)`` subjects."""
+        """Batched :meth:`size_l` over ``(rds_table, row_id)`` subjects.
+
+        With ``workers > 1`` the subjects fan out over a thread pool
+        (duplicates coalesce on the cache's single-flight table); the
+        returned list always follows the input order.
+        """
         opts = self._options(l, options, algorithm, source, backend)
-        return [
-            self.cache.run(rds_table, row_id, opts)
-            for rds_table, row_id in subjects
+        subject_list = list(subjects)
+        config = self._parallel_config(opts, workers, None)
+        if config.workers == 1 or len(subject_list) <= 1:
+            return [
+                self.cache.run(rds_table, row_id, opts)
+                for rds_table, row_id in subject_list
+            ]
+        calls = [
+            (self.cache.run, rds_table, row_id, opts)
+            for rds_table, row_id in subject_list
         ]
+        results: list[SizeLResult | None] = [None] * len(calls)
+        for index, result in self._windowed_results(config.workers, calls):
+            results[index] = result
+        return results  # type: ignore[return-value]  # every slot is filled
 
     # ------------------------------------------------------------------ #
     # Keyword queries
     # ------------------------------------------------------------------ #
+    def _submit(self, workers: int, fn, *args: object) -> Future:
+        """Submit one task to the shared pool, growing it to *workers*.
+
+        Growing swaps in a bigger executor and retires the old one; every
+        submission takes ``_pool_lock`` and reads ``self._pool`` under it,
+        so no submission can ever target a just-retired pool (futures
+        already submitted are unaffected — ``shutdown(wait=False)``
+        drains them).
+        """
+        with self._pool_lock:
+            if self._pool is None or self._pool_workers < workers:
+                old = self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serve"
+                )
+                self._pool_workers = workers
+                if old is not None:
+                    old.shutdown(wait=False)
+            return self._pool.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the Session's worker pool down (idempotent).
+
+        Only needed for prompt thread teardown — pools are also reaped at
+        interpreter exit, and a closed Session grows a fresh pool on the
+        next parallel call.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_workers = 0
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _windowed_results(
+        self, workers: int, calls: "list[tuple]"
+    ) -> Iterator[tuple[int, SizeLResult]]:
+        """Run ``(fn, *args)`` calls with at most *workers* in flight.
+
+        Yields ``(input index, result)`` in **completion** order; the
+        window refills on ANY completion, so one slow head-of-line item
+        never drains the call's parallelism.  The window is the per-call
+        concurrency contract — deliberately independent of how large the
+        shared pool has grown for other callers.  Exiting early (or on
+        error) cancels whatever has not started.
+        """
+        index_of: dict[Future, int] = {}
+        submitted = 0
+
+        def submit_next() -> Future | None:
+            nonlocal submitted
+            if submitted >= len(calls):
+                return None
+            fn, *args = calls[submitted]
+            future = self._submit(workers, fn, *args)
+            index_of[future] = submitted
+            submitted += 1
+            return future
+
+        for _ in range(min(workers, len(calls))):
+            submit_next()
+        try:
+            pending = set(index_of)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    refill = submit_next()
+                    if refill is not None:
+                        pending.add(refill)
+                    # pop so a long stream holds O(window) futures/results,
+                    # not every result computed so far
+                    yield index_of.pop(future), future.result()
+        finally:
+            for future in index_of:  # only the not-yet-yielded remain
+                future.cancel()
+
+    def _parallel_config(
+        self,
+        options: QueryOptions,
+        workers: int | None,
+        ordered: bool | None,
+    ) -> ParallelConfig:
+        """Per-call kwargs > ``options.parallel`` > the Session default."""
+        config = options.parallel if options.parallel is not None else self.parallel
+        changes: dict[str, Any] = {}
+        if workers is not None:
+            changes["workers"] = workers
+        if ordered is not None:
+            changes["ordered"] = ordered
+        if changes:
+            config = config.replace(**changes)
+        return config.normalized()
+
     def iter_keyword_query(
         self,
         keywords: list[str] | str,
@@ -165,12 +305,22 @@ class Session:
         source: object = None,
         backend: object = None,
         max_results: int | None = None,
+        workers: int | None = None,
+        ordered: bool | None = None,
     ) -> Iterator[KeywordResult]:
         """Stream keyword-query results as each size-l OS is computed.
 
-        Options are validated eagerly; computation is lazy and cached."""
+        Options are validated eagerly; computation is lazy and cached.
+        With an effective worker count above one the per-subject pipelines
+        run on a thread pool: ``ordered=True`` (the default) preserves the
+        match ranking, ``ordered=False`` yields each result the moment it
+        completes.  Serial execution (``workers=1``) computes nothing
+        until the stream is consumed."""
         opts = self._options(l, options, algorithm, source, backend, max_results)
-        return self._iter_keyword_query(keywords, opts)
+        config = self._parallel_config(opts, workers, ordered)
+        if config.workers == 1:
+            return self._iter_keyword_query(keywords, opts)
+        return self._iter_keyword_query_parallel(keywords, opts, config)
 
     def _iter_keyword_query(
         self, keywords: list[str] | str, options: QueryOptions
@@ -179,6 +329,51 @@ class Session:
         return self.engine._iter_keyword_query(
             keywords, options, run=self.cache.run
         )
+
+    def _iter_keyword_query_parallel(
+        self,
+        keywords: list[str] | str,
+        options: QueryOptions,
+        config: ParallelConfig,
+    ) -> Iterator[KeywordResult]:
+        """The fan-out loop: one cache.run task per matching Data Subject.
+
+        Submission is windowed via :meth:`_windowed_results` (at most
+        ``config.workers`` matches in flight for this call, refilled on
+        any completion).  Duplicate subjects coalesce on the cache's
+        single-flight table, costing one generation (though a waiting
+        duplicate does hold its window slot while it blocks).  Abandoning
+        the stream cancels whatever has not started.
+        """
+        matches = self.engine.search_matches(keywords, options)
+        if len(matches) <= 1:
+            yield from (
+                KeywordResult(match=m, result=self.cache.run(m.table, m.row_id, options))
+                for m in matches
+            )
+            return
+        calls = [
+            (self.cache.run, match.table, match.row_id, options) for match in matches
+        ]
+        completions = self._windowed_results(config.workers, calls)
+        try:
+            if config.ordered:
+                # re-sequence completion order into match-ranking order
+                buffered: dict[int, SizeLResult] = {}
+                next_index = 0
+                for index, result in completions:
+                    buffered[index] = result
+                    while next_index in buffered:
+                        yield KeywordResult(
+                            match=matches[next_index],
+                            result=buffered.pop(next_index),
+                        )
+                        next_index += 1
+            else:
+                for index, result in completions:
+                    yield KeywordResult(match=matches[index], result=result)
+        finally:
+            completions.close()  # abandoning the stream cancels unstarted work
 
     def keyword_query(
         self,
@@ -190,10 +385,17 @@ class Session:
         source: object = None,
         backend: object = None,
         max_results: int | None = None,
+        workers: int | None = None,
+        ordered: bool | None = None,
     ) -> list[KeywordResult]:
         """The batch form of :meth:`iter_keyword_query`."""
+        # resolved here (not via iter_keyword_query) so the legacy-kwarg
+        # DeprecationWarning's stacklevel still lands on the caller's frame
         opts = self._options(l, options, algorithm, source, backend, max_results)
-        return list(self._iter_keyword_query(keywords, opts))
+        config = self._parallel_config(opts, workers, ordered)
+        if config.workers == 1:
+            return list(self._iter_keyword_query(keywords, opts))
+        return list(self._iter_keyword_query_parallel(keywords, opts, config))
 
     # ------------------------------------------------------------------ #
     # Pass-throughs and management
@@ -230,5 +432,9 @@ class Session:
             "algorithm": self.defaults.algorithm_name,
             "source": self.defaults.source_name,
             "backend": self.defaults.backend_name,
+        }
+        info["parallel"] = {
+            "workers": self.parallel.workers,
+            "ordered": self.parallel.ordered,
         }
         return info

@@ -1,10 +1,23 @@
-"""Tests for the summary cache (Section 7 pre-computation direction)."""
+"""Tests for the summary cache (Section 7 pre-computation direction).
+
+Includes the regression tests for the cache-correctness sweep:
+
+* hits return per-call results — the memoised object (and the first
+  caller's miss-result) keeps ``cached=False``;
+* ``invalidate(row_id=...)`` without a table raises instead of silently
+  clearing everything;
+* subject eviction is atomic — a subject's memos and trees leave together
+  (the old three-``OrderedDict`` layout let the books drift apart);
+* ``cached_subjects`` counts memo-only subjects too, with
+  ``cached_results`` exposed separately.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.cache import SummaryCache
+from repro.core.options import QueryOptions, Source
 from repro.errors import SummaryError
 
 
@@ -14,7 +27,11 @@ class TestCompleteOSCache:
         first = cache.complete_os("author", 1)
         second = cache.complete_os("author", 1)
         assert first is second
-        assert cache.stats() == {"hits": 1, "misses": 1, "cached_subjects": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["cached_subjects"] == 1
+        assert stats["tree_generations"] == 1
 
     def test_lru_eviction(self, dblp_engine) -> None:
         cache = SummaryCache(dblp_engine, max_subjects=2)
@@ -22,6 +39,7 @@ class TestCompleteOSCache:
         cache.complete_os("author", 2)
         cache.complete_os("author", 3)  # evicts subject 1
         assert cache.cached_subjects == 2
+        assert cache.stats()["evictions"] == 1
         again = cache.complete_os("author", 1)
         assert again is not a  # regenerated after eviction
 
@@ -33,17 +51,41 @@ class TestCompleteOSCache:
         cache.complete_os("author", 3)  # evicts 2, keeps 1
         assert cache.complete_os("author", 1) is a
 
+    def test_flat_and_legacy_share_one_subject_slot(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=2)
+        cache.complete_os("author", 1)
+        cache.complete_os_flat("author", 1)
+        assert cache.cached_subjects == 1
+
     def test_bad_capacity(self, dblp_engine) -> None:
         with pytest.raises(ValueError):
             SummaryCache(dblp_engine, max_subjects=0)
 
 
 class TestSizeLMemo:
-    def test_memoised_result_identical(self, dblp_engine) -> None:
+    def test_memoised_result_equivalent_not_shared(self, dblp_engine) -> None:
         cache = SummaryCache(dblp_engine)
         first = cache.size_l("author", 1, 10)
         second = cache.size_l("author", 1, 10)
-        assert first is second
+        # hits are per-call copies: same payload, fresh stats record
+        assert second is not first
+        assert second.summary is first.summary
+        assert second.selected_uids == first.selected_uids
+        assert second.importance == first.importance
+        assert cache.stats()["result_computations"] == 1
+
+    def test_hit_does_not_mutate_the_miss_result(self, dblp_engine) -> None:
+        # The old cache set ``cached = True`` on the *shared* memo object,
+        # retroactively flipping the first caller's miss-result.
+        cache = SummaryCache(dblp_engine)
+        first = cache.size_l("author", 1, 10)
+        assert first.stats["cached"] is False
+        second = cache.size_l("author", 1, 10)
+        assert second.stats["cached"] is True
+        assert first.stats["cached"] is False  # the original must not flip
+        third = cache.size_l("author", 1, 10)
+        assert third.stats["cached"] is True
+        assert third is not second
 
     def test_results_match_engine(self, dblp_engine) -> None:
         cache = SummaryCache(dblp_engine)
@@ -58,6 +100,7 @@ class TestSizeLMemo:
         b = cache.size_l("author", 1, 10)
         c = cache.size_l("author", 1, 5, algorithm="bottom_up")
         assert a is not b and a is not c
+        assert cache.cached_results == 3
 
     def test_unknown_algorithm(self, dblp_engine) -> None:
         cache = SummaryCache(dblp_engine)
@@ -70,6 +113,47 @@ class TestSizeLMemo:
         cache.size_l("author", 2, 5)  # evicts subject 1 with its results
         again = cache.size_l("author", 1, 5)
         assert again is not first
+        assert again.stats["cached"] is False  # recomputed, not served
+
+
+class TestAtomicEviction:
+    """The unified subject-level LRU: memos and trees live and die together.
+
+    The old layout kept ``_results`` in its own ``OrderedDict`` whose LRU
+    order could drift from the tree stores (``_cached_tree`` inserted via
+    ``setdefault`` without ``move_to_end``), so eviction could drop a
+    freshly-touched subject's memos while its tree survived.
+    """
+
+    def test_memo_survives_while_tree_keeps_subject_fresh(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=2)
+        cache.size_l("author", 1, 5)  # subject 1: tree + memo
+        cache.size_l("author", 2, 5)  # subject 2: tree + memo
+        cache.complete_os("author", 1)  # touch subject 1 via its *tree*
+        cache.size_l("author", 3, 5)  # evicts subject 2, not 1
+        # subject 1's memo must still be served from cache
+        again = cache.size_l("author", 1, 5)
+        assert again.stats["cached"] is True
+        assert cache.stats()["result_computations"] == 3  # subjects 1, 2, 3
+
+    def test_no_subject_outlives_eviction_partially(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=1)
+        cache.size_l("author", 1, 5)
+        cache.complete_os_flat("author", 1)
+        cache.size_l("author", 2, 5)  # evicts subject 1 entirely
+        assert cache.cached_subjects == 1
+        assert cache.cached_results == 1  # only subject 2's memo
+        # regenerating subject 1 misses on both the tree and the memo
+        before = cache.stats()
+        cache.size_l("author", 1, 5)
+        after = cache.stats()
+        assert after["result_computations"] == before["result_computations"] + 1
+
+    def test_book_never_exceeds_capacity(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine, max_subjects=3)
+        for row_id in range(8):
+            cache.size_l("author", row_id, 4)
+            assert cache.cached_subjects <= 3
 
 
 class TestInvalidation:
@@ -92,3 +176,34 @@ class TestInvalidation:
         cache.complete_os("paper", 1)
         cache.invalidate("author")
         assert cache.cached_subjects == 1
+
+    def test_invalidate_row_without_table_raises(self, dblp_engine) -> None:
+        # This used to silently clear the ENTIRE cache, ignoring row_id.
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os("author", 1)
+        with pytest.raises(ValueError, match="requires rds_table"):
+            cache.invalidate(row_id=5)
+        assert cache.cached_subjects == 1  # nothing was dropped
+
+
+class TestCountingBugfix:
+    """``cached_subjects`` counts the unified book — including subjects
+    that hold only memoised prelim/database-path results (the old count
+    looked only at the tree stores and reported 0 for them)."""
+
+    def test_memo_only_subject_is_counted(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        # prelim-source results never cache a complete tree
+        cache.run("author", 1, QueryOptions(l=5, source=Source.PRELIM))
+        assert cache.cached_subjects == 1
+        assert cache.cached_results == 1
+        assert cache.stats()["cached_subjects"] == 1
+
+    def test_cached_results_tracks_memos_not_trees(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os("author", 1)  # tree only, no memo
+        assert cache.cached_subjects == 1
+        assert cache.cached_results == 0
+        cache.size_l("author", 1, 5)
+        cache.size_l("author", 1, 7)
+        assert cache.cached_results == 2

@@ -26,8 +26,12 @@ class TestSessionBasics:
     def test_size_l_is_cached(self, session: Session) -> None:
         first = session.size_l("author", 1, l=8)
         second = session.size_l("author", 1, l=8)
-        assert first is second
+        # hits are per-call copies sharing the payload; the first caller's
+        # miss-result keeps cached=False
+        assert second.summary is first.summary
+        assert second.selected_uids == first.selected_uids
         assert second.stats["cached"] is True
+        assert first.stats["cached"] is False
         assert session.cache_stats()["hits"] >= 1
 
     def test_size_l_many(self, session: Session) -> None:
@@ -61,7 +65,10 @@ class TestSessionBasics:
         before = session.cache_stats()["misses"]
         second = session.keyword_query("Faloutsos", l=6)
         assert session.cache_stats()["misses"] == before
-        assert [a.result for a in first] == [b.result for b in second]
+        assert [a.result.selected_uids for a in first] == [
+            b.result.selected_uids for b in second
+        ]
+        assert all(b.result.stats["cached"] for b in second)
 
 
 class TestStreamingLaziness:
@@ -176,12 +183,14 @@ class TestUniformLValidation:
 
 class TestCacheBounds:
     def test_prelim_results_bounded_by_max_subjects(self, dblp_engine) -> None:
-        # prelim-path results never enter _trees; the subject LRU must
-        # still bound them (they used to accumulate forever)
+        # prelim-path results never cache a complete tree; the unified
+        # subject book must still bound them (they used to accumulate
+        # forever in a separate, unbounded memo store)
         session = Session(dblp_engine, cache_size=2)
         for row_id in range(5):
             session.size_l("author", row_id, l=3)  # default source=prelim
-        assert len(session.cache._results) <= 2
+        assert session.cache.cached_subjects <= 2
+        assert session.cache.cached_results <= 2
 
     def test_depth_limit_honoured_for_prelim_source(self, dblp_engine) -> None:
         limited = dblp_engine.size_l(
