@@ -21,7 +21,12 @@ from repro.core.engine import SizeLEngine
 from repro.core.os_tree import ObjectSummary
 from repro.util.rng import derive_rng
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# Git-ignored scratch area (see .gitignore): every emit() lands here, so
+# full benchmark runs leave reviewable artefacts without dirtying the tree.
+# Override with REPRO_BENCH_RESULTS to collect artefacts elsewhere (CI).
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_BENCH_RESULTS", Path(__file__).parent / "results")
+)
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 

@@ -11,8 +11,10 @@ The library implements the paper's complete stack from scratch:
   Bottom-Up Pruning, Update Top-Path-l, prelim-l OS generation
   (:mod:`repro.core`),
 * keyword search (:mod:`repro.search`),
-* synthetic DBLP and TPC-H datasets (:mod:`repro.datasets`), and
-* the Section-6 experiment harness (:mod:`repro.evaluation`).
+* synthetic DBLP and TPC-H datasets (:mod:`repro.datasets`),
+* the Section-6 experiment harness (:mod:`repro.evaluation`), and
+* an offline-precompute + mmap snapshot persistence tier
+  (:mod:`repro.persist`).
 
 Quickstart::
 
@@ -55,6 +57,12 @@ from repro.core import (
     top_path_size_l,
 )
 from repro.session import Session
+from repro.persist import (
+    Snapshot,
+    precompute_snapshot,
+    select_subjects,
+    write_snapshot,
+)
 from repro.db import Column, ColumnType, Database, ForeignKey, TableSchema
 from repro.ranking import (
     ImportanceStore,
@@ -93,6 +101,10 @@ __all__ = [
     "generate_prelim_os",
     "optimal_size_l",
     "top_path_size_l",
+    "Snapshot",
+    "precompute_snapshot",
+    "select_subjects",
+    "write_snapshot",
     "Column",
     "ColumnType",
     "Database",

@@ -6,13 +6,27 @@ Usage (after ``pip install -e .``)::
     python -m repro query --database tpch --keywords "Supplier#000001" --l 10
     python -m repro query --database dblp --keywords Faloutsos --backend database
     python -m repro query --database dblp --keywords Faloutsos --workers 4
+    python -m repro precompute --database dblp --out snap.d --table author
+    python -m repro query --database dblp --keywords Faloutsos \\
+        --source complete --snapshot snap.d
     python -m repro gds --database dblp --subject author
     python -m repro analyze --database dblp --subject author --max-l 25
 
 ``query`` runs the paper's end-to-end pipeline (Examples 3-5), streaming
-each result as its size-l OS is computed; ``gds`` prints the annotated,
+each result as its size-l OS is computed; ``precompute`` generates
+complete OSs offline and writes a :mod:`repro.persist` snapshot that
+``query --snapshot`` warm-starts from; ``gds`` prints the annotated,
 θ-pruned G_DS (Figure 2/12); ``analyze`` runs the Section-7
 optimal-family analysis (nesting/stability across l).
+
+Every subcommand resolves its dataset through one shared loader
+(:func:`_load_session`) — the dataset flags are declared once on a parent
+parser and built once per invocation.  Exit codes are pinned:
+
+* ``0`` — success;
+* ``1`` — the command ran but found nothing (no matching data subjects);
+* ``2`` — usage or validation errors (argparse, bad options, snapshot
+  rejection, unknown tables...).
 
 ``--algorithm`` and ``--backend`` choices derive from
 :mod:`repro.core.registry`, so plugins registered via
@@ -34,33 +48,50 @@ from repro.core.analysis import nesting_profile, optimal_family, stability_profi
 from repro.core.builder import NAMED_DATASETS, EngineBuilder
 from repro.core.options import ParallelConfig, QueryOptions
 from repro.core.registry import algorithm_names, backend_names
-from repro.errors import SummaryError
+from repro.errors import ReproError
 from repro.session import Session
 
+#: Pinned exit codes (asserted by tests/test_cli.py).
+EXIT_OK = 0
+EXIT_NO_RESULTS = 1
+EXIT_ERROR = 2
 
-def _build_session(database: str, seed: int, scale: float) -> Session:
-    try:
-        return EngineBuilder.named(database, seed=seed, scale=scale).build_session()
-    except SummaryError as exc:
-        raise SystemExit(str(exc)) from None
+
+def _load_session(args: argparse.Namespace, *, cache_size: int = 64) -> Session:
+    """The one shared dataset loader behind every subcommand.
+
+    Builds the named dataset once (deterministic under ``--seed`` /
+    ``--scale``) and wraps it in a Session; a ``--snapshot`` directory,
+    when the subcommand defines the flag, is opened, validated, and
+    attached (library errors propagate to :func:`main`, which maps them
+    to exit code 2).
+    """
+    snapshot = None
+    if getattr(args, "snapshot", None) is not None:
+        # Opened (and checksum-verified) BEFORE the dataset is synthesised:
+        # a typo'd path or corrupt snapshot fails in milliseconds instead
+        # of after the most expensive step of the invocation.
+        from repro.persist.snapshot import Snapshot
+
+        snapshot = Snapshot.open(
+            args.snapshot, verify=not getattr(args, "no_verify", False)
+        )
+    builder = EngineBuilder.named(args.database, seed=args.seed, scale=args.scale)
+    if snapshot is not None:
+        builder.with_snapshot(snapshot)
+    return builder.build_session(cache_size=cache_size)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    try:
-        options = QueryOptions(
-            l=args.l,
-            algorithm=args.algorithm,
-            source=args.source,
-            backend=args.backend,
-            max_results=args.max_results,
-            parallel=ParallelConfig(
-                workers=args.workers, ordered=not args.unordered
-            ),
-        ).normalized()
-    except SummaryError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    session = _build_session(args.database, args.seed, args.scale)
+    options = QueryOptions(
+        l=args.l,
+        algorithm=args.algorithm,
+        source=args.source,
+        backend=args.backend,
+        max_results=args.max_results,
+        parallel=ParallelConfig(workers=args.workers, ordered=not args.unordered),
+    ).normalized()
+    session = _load_session(args)
     rank = 0
     for entry in session.iter_keyword_query(args.keywords, options=options):
         rank += 1
@@ -74,18 +105,52 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print()
     if rank == 0:
         print("no matching data subjects")
-        return 1
-    return 0
+        return EXIT_NO_RESULTS
+    if args.snapshot is not None:
+        stats = session.cache_stats()
+        print(
+            f"[snapshot] disk hits: {stats['disk_hits']}, "
+            f"disk misses: {stats['disk_misses']}"
+        )
+    return EXIT_OK
+
+
+def _cmd_precompute(args: argparse.Namespace) -> int:
+    from repro.persist.precompute import precompute_snapshot, select_subjects
+
+    session = _load_session(args)
+    subjects = select_subjects(
+        session.engine,
+        table=args.table,
+        row_ids=args.ids,
+        top_keywords=args.top_keywords,
+    )
+    report = precompute_snapshot(
+        session.engine,
+        subjects,
+        args.out,
+        workers=args.workers,
+        overwrite=args.overwrite,
+    )
+    print(
+        f"snapshot written: {report.path}\n"
+        f"  subjects: {report.subjects}\n"
+        f"  tree nodes: {report.tree_nodes}\n"
+        f"  size: {report.size_bytes / 1024:.1f} KiB\n"
+        f"  precompute time: {report.seconds:.2f}s "
+        f"(workers={args.workers})"
+    )
+    return EXIT_OK
 
 
 def _cmd_gds(args: argparse.Namespace) -> int:
-    session = _build_session(args.database, args.seed, args.scale)
+    session = _load_session(args)
     print(session.engine.gds_for(args.subject).render())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    session = _build_session(args.database, args.seed, args.scale)
+    session = _load_session(args)
     engine = session.engine
     matches = engine.searcher.search(args.keywords) if args.keywords else None
     if matches:
@@ -107,7 +172,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"core = {stability.core_size} tuples, union = {stability.union_size} "
         f"(vs Σl = {sum(range(1, args.max_l + 1))} without sharing)"
     )
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,10 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=1.0, help="dataset size multiplier"
     )
+    # Declared once, inherited by every subcommand (the shared loader's
+    # contract: any parsed namespace carries the dataset selection).
+    dataset_parent = argparse.ArgumentParser(add_help=False)
+    dataset_parent.add_argument(
+        "--database", choices=NAMED_DATASETS, default="dblp"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    query = sub.add_parser("query", help="run a size-l OS keyword query")
-    query.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
+    query = sub.add_parser(
+        "query", parents=[dataset_parent], help="run a size-l OS keyword query"
+    )
     query.add_argument("--keywords", nargs="+", required=True)
     query.add_argument("--l", dest="l", type=int, default=10)
     query.add_argument(
@@ -150,17 +222,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --workers > 1, print each result as it completes "
         "instead of preserving the match ranking",
     )
+    query.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="DIR",
+        help="warm-start from a precomputed snapshot directory (see the "
+        "precompute subcommand); rejected with a clear error when it "
+        "does not match the dataset",
+    )
+    query.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip per-file checksum verification of --snapshot (attach "
+        "becomes O(1) instead of O(snapshot bytes); the manifest "
+        "self-checksum and dataset fingerprint are still checked)",
+    )
     query.set_defaults(func=_cmd_query)
 
-    gds = sub.add_parser("gds", help="print an annotated G_DS")
-    gds.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
+    precompute = sub.add_parser(
+        "precompute",
+        parents=[dataset_parent],
+        help="generate complete OSs offline into a snapshot directory",
+    )
+    precompute.add_argument(
+        "--out", required=True, metavar="DIR", help="snapshot directory to write"
+    )
+    precompute.add_argument(
+        "--table", default=None, help="precompute every subject of this R_DS table"
+    )
+    precompute.add_argument(
+        "--ids",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="ROW",
+        help="explicit row ids (requires --table)",
+    )
+    precompute.add_argument(
+        "--top-keywords",
+        type=int,
+        default=None,
+        metavar="K",
+        help="precompute the K subjects the most frequent keywords resolve to",
+    )
+    precompute.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel OS generations (ParallelConfig fan-out; 1 = serial)",
+    )
+    precompute.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing snapshot at --out",
+    )
+    precompute.set_defaults(func=_cmd_precompute)
+
+    gds = sub.add_parser(
+        "gds", parents=[dataset_parent], help="print an annotated G_DS"
+    )
     gds.add_argument("--subject", required=True, help="R_DS table name")
     gds.set_defaults(func=_cmd_gds)
 
     analyze = sub.add_parser(
-        "analyze", help="analyse the space of optimal size-l OSs (Section 7)"
+        "analyze",
+        parents=[dataset_parent],
+        help="analyse the space of optimal size-l OSs (Section 7)",
     )
-    analyze.add_argument("--database", choices=NAMED_DATASETS, default="dblp")
     analyze.add_argument("--subject", default="author", help="R_DS table name")
     analyze.add_argument("--keywords", nargs="*", help="pick the subject by keywords")
     analyze.add_argument("--max-l", type=int, default=20)
@@ -171,7 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # One uniform mapping: every library-level failure (bad options,
+        # unknown tables, snapshot rejection...) is a usage error — same
+        # exit code argparse uses — with the message on stderr.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,11 +12,21 @@ through here.  Three entry points:
   ``scale``;
 * the fluent ``with_*`` methods — custom databases (see
   ``examples/custom_database.py``).
+
+:meth:`EngineBuilder.with_snapshot` attaches a precomputed
+:mod:`repro.persist` snapshot: the engine is built with the snapshot's
+memory-mapped data graph, inverted index, and (unless the builder was
+given one explicitly) importance store, and a Session built through
+:meth:`build_session` serves precomputed complete OSs from the
+snapshot's tree arena.  The dataset's default store is resolved
+**lazily** for exactly this reason — a warm start must not pay the
+ranking power iteration it is about to load from disk.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.engine import SizeLEngine
 from repro.core.options import ParallelConfig, QueryOptions
@@ -25,6 +35,9 @@ from repro.db.database import Database
 from repro.errors import SummaryError
 from repro.ranking.store import ImportanceStore
 from repro.schema_graph.gds import GDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.persist.snapshot import Snapshot
 
 #: Datasets :meth:`EngineBuilder.named` can synthesise on the fly.
 NAMED_DATASETS = ("dblp", "tpch")
@@ -59,8 +72,11 @@ class EngineBuilder:
         self._db: Database | None = None
         self._gds: dict[str, GDS] = {}
         self._store: ImportanceStore | None = None
+        #: lazy default-store fallback (see with_snapshot / from_dataset)
+        self._store_factory: Callable[[], ImportanceStore] | None = None
         self._theta: float = 0.7
         self._data_graph: DataGraph | None = None
+        self._snapshot: "Snapshot | None" = None
 
     # ------------------------------------------------------------------ #
     # Fluent configuration
@@ -76,6 +92,7 @@ class EngineBuilder:
 
     def with_store(self, store: ImportanceStore) -> "EngineBuilder":
         self._store = store
+        self._store_factory = None
         return self
 
     def with_theta(self, theta: float) -> "EngineBuilder":
@@ -84,6 +101,25 @@ class EngineBuilder:
 
     def with_data_graph(self, data_graph: DataGraph) -> "EngineBuilder":
         self._data_graph = data_graph
+        return self
+
+    def with_snapshot(
+        self, snapshot: "str | Path | Snapshot", *, verify: bool = True
+    ) -> "EngineBuilder":
+        """Attach a precomputed :mod:`repro.persist` snapshot.
+
+        Accepts a snapshot directory path (opened — and checksum-verified
+        unless ``verify=False`` — immediately, so a corrupt snapshot
+        fails here, not mid-build) or an already opened
+        :class:`~repro.persist.snapshot.Snapshot`.  :meth:`build`
+        validates the snapshot's fingerprint against the configured
+        database/G_DS/θ and rejects mismatches.
+        """
+        from repro.persist.snapshot import Snapshot
+
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot.open(snapshot, verify=verify)
+        self._snapshot = snapshot
         return self
 
     # ------------------------------------------------------------------ #
@@ -97,15 +133,17 @@ class EngineBuilder:
         store: ImportanceStore | None = None,
         theta: float = 0.7,
     ) -> "EngineBuilder":
-        """Configure from a dataset's presets; ``store=None`` computes the
+        """Configure from a dataset's presets; ``store=None`` defers to the
         dataset's default ranking (ObjectRank for DBLP, ValueRank for
-        TPC-H)."""
+        TPC-H), computed lazily at :meth:`build` time — or loaded from an
+        attached snapshot instead, skipping the computation entirely."""
         builder = cls().with_database(dataset.db).with_theta(theta)
         for root, gds in dataset.default_gds().items():
             builder.with_gds(root, gds)
-        return builder.with_store(
-            store if store is not None else dataset.default_store()
-        )
+        if store is not None:
+            return builder.with_store(store)
+        builder._store_factory = dataset.default_store
+        return builder
 
     @classmethod
     def named(
@@ -124,6 +162,22 @@ class EngineBuilder:
     # ------------------------------------------------------------------ #
     # Build
     # ------------------------------------------------------------------ #
+    def _resolve_store(self) -> ImportanceStore:
+        """Explicit store > snapshot store > dataset default factory.
+
+        The factory result is memoised into ``_store`` so repeated
+        ``build()`` calls on one builder share one store object instead
+        of re-running the ranking power iteration per build.
+        """
+        if self._store is not None:
+            return self._store
+        if self._snapshot is not None:
+            return self._snapshot.store()
+        if self._store_factory is not None:
+            self._store = self._store_factory()
+            return self._store
+        raise SummaryError("EngineBuilder: no importance store configured")
+
     def build(self) -> SizeLEngine:
         if self._db is None:
             raise SummaryError("EngineBuilder: no database configured")
@@ -132,15 +186,39 @@ class EngineBuilder:
                 "EngineBuilder: no G_DS registered; add at least one via "
                 "with_gds(root, gds)"
             )
-        if self._store is None:
-            raise SummaryError("EngineBuilder: no importance store configured")
-        return SizeLEngine(
+        if self._snapshot is not None:
+            # Fingerprint check FIRST — before the snapshot's store/data
+            # graph/index are used to construct anything — so a
+            # cross-dataset snapshot fails with the clear mismatch error,
+            # not whatever the foreign structures happen to break.  The
+            # fingerprint covers the pruned G_DS; pruning here duplicates
+            # the engine's own prune, which is O(G_DS nodes) and trivial.
+            self._snapshot.validate_dataset(
+                self._db,
+                {root: gds.prune(self._theta) for root, gds in self._gds.items()},
+                self._theta,
+            )
+        store = self._resolve_store()
+        data_graph = self._data_graph
+        search_index = None
+        if self._snapshot is not None:
+            if data_graph is None:
+                data_graph = self._snapshot.data_graph()
+            search_index = self._snapshot.search_index(self._db)
+        engine = SizeLEngine(
             self._db,
             dict(self._gds),
-            self._store,
+            store,
             theta=self._theta,
-            data_graph=self._data_graph,
+            data_graph=data_graph,
+            search_index=search_index,
         )
+        if self._snapshot is not None:
+            # Full validation again post-construction (store digest for
+            # engines carrying their own store; dataset re-check is ~0.2ms
+            # thanks to the cached table content hashes).
+            self._snapshot.validate_engine(engine)
+        return engine
 
     def build_session(
         self,
@@ -149,7 +227,14 @@ class EngineBuilder:
         defaults: QueryOptions | None = None,
         parallel: ParallelConfig | None = None,
     ) -> "Any":
-        """Build the engine wrapped in a :class:`~repro.session.Session`."""
+        """Build the engine wrapped in a :class:`~repro.session.Session`.
+
+        An attached snapshot carries through: the Session's cache serves
+        precomputed complete OSs from the snapshot's tree arena.  The
+        snapshot is validated once in :meth:`build` and once more when the
+        cache attaches — deliberate: re-validation costs ~0.2 ms (table
+        content hashes are cached) and skipping it would re-open the
+        stale-attach hole a memoised validation had."""
         from repro.session import Session
 
         return Session(
@@ -157,4 +242,5 @@ class EngineBuilder:
             cache_size=cache_size,
             defaults=defaults,
             parallel=parallel,
+            snapshot=self._snapshot,
         )

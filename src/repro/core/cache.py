@@ -33,6 +33,14 @@ layer (:meth:`~repro.session.Session.iter_keyword_query` with
   ``cached=True`` — the memoised object (and the first caller's
   miss-result) keeps ``cached=False`` forever.
 
+The cache is also where the **disk tier** plugs in
+(:meth:`SummaryCache.attach_snapshot`): on a memory miss for a columnar
+complete OS, an attached :class:`~repro.persist.snapshot.Snapshot` is
+consulted before a generation is paid — a zero-copy ``mmap`` slice load,
+counted as ``disk_hits``/``disk_misses``/``snapshot_stale`` in
+:meth:`stats`.  ``invalidate`` masks the matching snapshot entries, so a
+scoped refresh never resurrects a stale disk tree.
+
 All algorithm dispatch flows through :mod:`repro.core.registry`, and
 options are validated *before* any OS generation (a bad algorithm name
 never costs a complete-OS traversal).
@@ -46,12 +54,15 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.engine import SizeLEngine
 from repro.core.options import Algorithm, Backend, QueryOptions, ResultStats, Source
 from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult
 from repro.core.registry import get_algorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.persist.snapshot import Snapshot
 
 #: Memo key of a size-l result:
 #: (l, algorithm, source, backend, depth_limit, flat).
@@ -119,7 +130,12 @@ class SummaryCache:
     at most once no matter how many threads ask concurrently.
     """
 
-    def __init__(self, engine: SizeLEngine, max_subjects: int = 64) -> None:
+    def __init__(
+        self,
+        engine: SizeLEngine,
+        max_subjects: int = 64,
+        snapshot: "Snapshot | None" = None,
+    ) -> None:
         if max_subjects < 1:
             raise ValueError(f"max_subjects must be >= 1, got {max_subjects}")
         self.engine = engine
@@ -127,6 +143,10 @@ class SummaryCache:
         self._lock = threading.RLock()
         self._book: OrderedDict[SubjectKey, _SubjectEntry] = OrderedDict()
         self._inflight: dict[tuple, _InFlight] = {}
+        #: the disk tier: an attached snapshot tried on memory misses
+        self._snapshot: "Snapshot | None" = None
+        #: snapshot subjects masked by invalidate(); never served again
+        self._stale_disk: set[SubjectKey] = set()
         self.hits = 0
         self.misses = 0
         #: complete-OS generations actually executed (single-flight leaders)
@@ -138,6 +158,14 @@ class SummaryCache:
         #: lock acquisitions that found the lock held by another thread
         self.lock_contention = 0
         self.evictions = 0
+        #: memory misses served by the snapshot tier (no generation paid)
+        self.disk_hits = 0
+        #: memory misses the attached snapshot could not serve
+        self.disk_misses = 0
+        #: disk lookups refused because invalidate() masked the entry
+        self.snapshot_stale = 0
+        if snapshot is not None:
+            self.attach_snapshot(snapshot)
 
     # ------------------------------------------------------------------ #
     # Locking / LRU plumbing (callers hold self._lock unless noted)
@@ -249,9 +277,68 @@ class SummaryCache:
             del self._inflight[flight_key]
 
     # ------------------------------------------------------------------ #
+    # Snapshot (disk) tier
+    # ------------------------------------------------------------------ #
+    def attach_snapshot(self, snapshot: "Snapshot") -> None:
+        """Attach a precomputed snapshot as the tier below memory.
+
+        Validates the snapshot against this cache's engine first
+        (fingerprint + store digest — see
+        :meth:`repro.persist.snapshot.Snapshot.validate_engine`); a
+        mismatched snapshot raises instead of silently serving wrong
+        trees.  Replaces any previously attached snapshot and clears its
+        stale masks.
+        """
+        snapshot.validate_engine(self.engine)
+        with self._acquire():
+            self._snapshot = snapshot
+            self._stale_disk = set()
+
+    @property
+    def snapshot(self) -> "Snapshot | None":
+        """The attached snapshot, if any."""
+        return self._snapshot
+
+    def _disk_lookup(self, subject: SubjectKey) -> FlatOS | None:
+        """Try the snapshot tier for a columnar complete OS.
+
+        Runs outside the lock (the caller is the single-flight leader for
+        this subject, so at most one disk load per subject is in flight).
+        Returns ``None`` — counting the reason — when no snapshot is
+        attached, the entry was masked by :meth:`invalidate`, or the
+        subject was never precomputed.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            return None
+        if snapshot.l_values is not None:
+            # The cache hands disk trees to *every* summary size, so only
+            # snapshots of complete OSs (l_values null) are servable; a
+            # future depth-limited snapshot must not be over-served.
+            with self._acquire():
+                self.disk_misses += 1
+            return None
+        with self._acquire():
+            if subject in self._stale_disk:
+                self.snapshot_stale += 1
+                return None
+        rds_table, row_id = subject
+        tree = snapshot.load_flat(
+            rds_table, row_id, self.engine.gds_for(rds_table), self.engine.db
+        )
+        with self._acquire():
+            if tree is None:
+                self.disk_misses += 1
+            else:
+                self.disk_hits += 1
+        return tree
+
+    # ------------------------------------------------------------------ #
     # Complete OSs
     # ------------------------------------------------------------------ #
-    def _cached_tree(self, subject: SubjectKey, slot: str, generate):
+    def _cached_tree(
+        self, subject: SubjectKey, slot: str, generate, disk: bool = False
+    ):
         """Shared single-flight body of complete_os / complete_os_flat."""
 
         def lookup():
@@ -264,16 +351,23 @@ class SummaryCache:
             return value
 
         def compute():
-            tree = generate(*subject)
-            with self._acquire():
-                self.tree_generations += 1
+            tree = self._disk_lookup(subject) if disk else None
+            if tree is None:
+                tree = generate(*subject)
+                with self._acquire():
+                    self.tree_generations += 1
             return tree
 
         def insert(tree):
             setattr(self._touch(subject), slot, tree)
 
+        # The disk flag is part of the flight key: a snapshot=False caller
+        # must never ride a disk-loading leader's flight and receive the
+        # snapshot tree its knob explicitly opted out of.  The two
+        # flavours may briefly duplicate work for one subject; each still
+        # deduplicates within itself.
         tree, _from_cache = self._single_flight(
-            (subject, slot), lookup, compute, insert
+            (subject, slot, disk), lookup, compute, insert
         )
         return tree
 
@@ -281,10 +375,21 @@ class SummaryCache:
         """The cached complete OS of a subject (generated on first use)."""
         return self._cached_tree((rds_table, row_id), "tree", self.engine.complete_os)
 
-    def complete_os_flat(self, rds_table: str, row_id: int) -> FlatOS:
-        """The cached columnar complete OS of a subject (flat hot path)."""
+    def complete_os_flat(
+        self, rds_table: str, row_id: int, *, snapshot: bool = True
+    ) -> FlatOS:
+        """The cached columnar complete OS of a subject (flat hot path).
+
+        On a memory miss the attached snapshot is consulted before paying
+        a generation (``snapshot=False`` opts a call out and always
+        regenerates on miss — the :attr:`QueryOptions.snapshot` execution
+        knob).
+        """
         return self._cached_tree(
-            (rds_table, row_id), "flat", self.engine.complete_os_flat
+            (rds_table, row_id),
+            "flat",
+            self.engine.complete_os_flat,
+            disk=snapshot,
         )
 
     # ------------------------------------------------------------------ #
@@ -342,8 +447,13 @@ class SummaryCache:
         def insert(result):
             self._touch(subject).results[result_key] = result
 
+        # Like the tree layer, the snapshot flag joins the *flight* key
+        # (not the memo key — results are node-identical either way): a
+        # snapshot=False caller must lead its own live-backend pipeline,
+        # never wait out a leader computing from the disk tree.
         result, from_cache = self._single_flight(
-            (subject, "result", result_key), lookup, compute, insert
+            (subject, "result", result_key, options.snapshot),
+            lookup, compute, insert,
         )
         return _per_call(result) if from_cache else result
 
@@ -362,7 +472,7 @@ class SummaryCache:
         # columnar path applies to this option combination.
         gen_start = perf_counter()
         tree: ObjectSummary | FlatOS = (
-            self.complete_os_flat(rds_table, row_id)
+            self.complete_os_flat(rds_table, row_id, snapshot=options.snapshot)
             if options.flat
             else self.complete_os(rds_table, row_id)
         )
@@ -385,6 +495,11 @@ class SummaryCache:
     # ------------------------------------------------------------------ #
     def invalidate(self, rds_table: str | None = None, row_id: int | None = None) -> None:
         """Drop cached entries (all, per table, or one subject).
+
+        Matching entries of an attached snapshot are masked permanently —
+        disk trees were computed against pre-refresh data and must never
+        be re-served; a bare ``invalidate()`` disables the whole disk
+        tier until :meth:`attach_snapshot` re-validates and re-attaches.
 
         ``row_id`` without ``rds_table`` is ambiguous (row ids are only
         unique per table) and raises :class:`ValueError` — it used to be
@@ -416,6 +531,23 @@ class SummaryCache:
                 del self._inflight[key]
             for subject in [s for s in self._book if affected(s)]:
                 del self._book[subject]
+            # Mask the disk tier too: a snapshot entry is immutable on
+            # disk, so "invalidated" means "never serve it again" — the
+            # next request regenerates from the live database instead of
+            # resurrecting the pre-refresh tree.  A bare invalidate()
+            # therefore masks the *whole* snapshot (re-attach via
+            # attach_snapshot, which re-validates, to re-enable the tier
+            # after a refresh).  The single-subject case is O(1); only
+            # table-wide and full invalidates scan the subject map.
+            if self._snapshot is not None:
+                if rds_table is not None and row_id is not None:
+                    subject = (rds_table, row_id)
+                    if subject in self._snapshot.subjects:
+                        self._stale_disk.add(subject)
+                else:
+                    for subject in self._snapshot.subjects:
+                        if affected(subject):
+                            self._stale_disk.add(subject)
 
     @property
     def cached_subjects(self) -> int:
@@ -446,4 +578,7 @@ class SummaryCache:
                 "single_flight_waits": self.single_flight_waits,
                 "lock_contention": self.lock_contention,
                 "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "snapshot_stale": self.snapshot_stale,
             }

@@ -47,6 +47,7 @@ from repro.db.query import QueryInterface
 from repro.errors import SummaryError
 from repro.ranking.store import ImportanceStore, annotate_gds
 from repro.schema_graph.gds import GDS
+from repro.search.inverted_index import BaseInvertedIndex
 from repro.search.keyword import DataSubjectMatch, KeywordSearcher
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,6 +96,7 @@ class SizeLEngine:
         store: ImportanceStore,
         theta: float = 0.7,
         data_graph: DataGraph | None = None,
+        search_index: "BaseInvertedIndex | None" = None,
     ) -> None:
         self.db = db
         self.store = store
@@ -107,7 +109,11 @@ class SizeLEngine:
         self._data_graph = data_graph
         self._data_graph_lock = threading.Lock()
         self.query_interface = QueryInterface(db)
-        self.searcher = KeywordSearcher(db, list(self.gds_by_root), store)
+        # search_index lets a snapshot supply its prebuilt (memory-mapped)
+        # inverted index instead of paying the tokenizing build scan here.
+        self.searcher = KeywordSearcher(
+            db, list(self.gds_by_root), store, index=search_index
+        )
 
     # ------------------------------------------------------------------ #
     # Construction

@@ -152,6 +152,15 @@ class QueryOptions:
     #: forces the legacy per-node OSNode path — kept selectable for A/B
     #: comparison and for plugin algorithms that require ObjectSummary.
     flat: bool = True
+    #: Allow serving this query's complete-OS generation from an attached
+    #: snapshot (the :class:`~repro.core.cache.SummaryCache` disk tier).
+    #: ``False`` forces a cache **miss** to regenerate from the live
+    #: backend instead of loading the snapshot tree (a tree already in
+    #: the memory cache is still served).  Snapshot-loaded trees are
+    #: validated node-for-node identical to fresh ones, so — like
+    #: ``parallel`` — this is an execution knob and deliberately not part
+    #: of :meth:`cache_key`.
+    snapshot: bool = True
     #: How a Session fans the per-subject work of this query out over
     #: threads; ``None`` inherits the Session's default.  Not part of the
     #: cache key (an execution knob, not a query knob).
@@ -188,6 +197,8 @@ class QueryOptions:
             )
         if not isinstance(self.flat, bool):
             raise SummaryError(f"flat must be a bool, got {self.flat!r}")
+        if not isinstance(self.snapshot, bool):
+            raise SummaryError(f"snapshot must be a bool, got {self.snapshot!r}")
         if self.parallel is not None:
             if not isinstance(self.parallel, ParallelConfig):
                 raise SummaryError(

@@ -11,7 +11,7 @@ weights (Equation 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -239,7 +239,17 @@ class FlatOS:
       so every node's children occupy one contiguous index range;
     * ``depth`` is non-decreasing, so each BFS level — and the depth-< l
       eligible set of the size-l algorithms — is a prefix/slice.
+
+    Because node identity is purely positional, many FlatOS trees pack into
+    one parallel-array **arena** (:meth:`pack_arena` /
+    :meth:`from_arena`): tree ``i`` of the arena is the slice
+    ``indptr[i]:indptr[i + 1]`` of every column.  The slices are views, so
+    unpacking from a ``numpy`` memory map is zero-copy — the snapshot store
+    (:mod:`repro.persist`) serves complete OSs straight off disk this way.
     """
+
+    #: The parallel arrays an arena concatenates, in canonical order.
+    ARENA_FIELDS = ("parent", "depth", "gds_node_id", "row_id", "weight")
 
     __slots__ = (
         "parent",
@@ -370,6 +380,70 @@ class FlatOS:
             if start >= n:
                 break
         return sums
+
+    # ------------------------------------------------------------------ #
+    # Arena pack/unpack (the snapshot store's on-disk layout)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def pack_arena(trees: "Sequence[FlatOS]") -> dict[str, np.ndarray]:
+        """Concatenate *trees* into one parallel-array arena.
+
+        Returns the five :attr:`ARENA_FIELDS` columns plus ``indptr``
+        (``int64``, length ``len(trees) + 1``): tree ``i`` occupies
+        ``indptr[i]:indptr[i + 1]`` of every column.  ``parent`` values stay
+        tree-local (each slice starts with the ``-1`` root), so a slice is
+        a complete, self-contained FlatOS.
+        """
+        sizes = np.fromiter((tree.size for tree in trees), dtype=np.int64, count=len(trees))
+        indptr = np.zeros(len(trees) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        arena: dict[str, np.ndarray] = {"indptr": indptr}
+        empties = {
+            "parent": np.int32, "depth": np.int32, "gds_node_id": np.int32,
+            "row_id": np.int32, "weight": np.float64,
+        }
+        for name in FlatOS.ARENA_FIELDS:
+            if trees:
+                arena[name] = np.concatenate([getattr(tree, name) for tree in trees])
+            else:
+                arena[name] = np.empty(0, dtype=empties[name])
+        return arena
+
+    @classmethod
+    def from_arena(
+        cls,
+        arena: "Mapping[str, np.ndarray]",
+        index: int,
+        gds: GDS,
+        db: "Database | None" = None,
+        kind: str = "complete",
+    ) -> "FlatOS":
+        """Tree *index* of a packed arena, as zero-copy column slices.
+
+        *arena* is any mapping holding ``indptr`` plus the
+        :attr:`ARENA_FIELDS` columns — in particular the memory-mapped
+        arrays of an opened snapshot.  The slices share the arena's storage
+        (read-only when the arena is an ``mmap_mode="r"`` load), which is
+        fine: nothing in the library mutates FlatOS columns after
+        construction.
+        """
+        indptr = arena["indptr"]
+        if not 0 <= index < len(indptr) - 1:
+            raise SummaryError(
+                f"arena tree index out of range: {index} (arena holds "
+                f"{len(indptr) - 1} trees)"
+            )
+        lo, hi = int(indptr[index]), int(indptr[index + 1])
+        return cls(
+            parent=arena["parent"][lo:hi],
+            depth=arena["depth"][lo:hi],
+            gds_node_id=arena["gds_node_id"][lo:hi],
+            row_id=arena["row_id"][lo:hi],
+            weight=arena["weight"][lo:hi],
+            gds=gds,
+            db=db,
+            kind=kind,
+        )
 
     # ------------------------------------------------------------------ #
     # Interop with the OSNode representation

@@ -95,6 +95,14 @@ class DataGraph:
         except KeyError:
             raise GraphError(f"no adjacency for FK {owner}.{column}") from None
 
+    def adjacencies(self) -> list[FkAdjacency]:
+        """Every FK adjacency, ordered by ``(owner, column)``.
+
+        The deterministic order is what the snapshot store
+        (:mod:`repro.persist`) relies on to pack and reload the CSR arrays
+        file-for-file."""
+        return [self._adj[key] for key in sorted(self._adj)]
+
     @property
     def edge_count(self) -> int:
         return sum(adj.edge_count for adj in self._adj.values())

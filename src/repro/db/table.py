@@ -25,6 +25,8 @@ class Table:
         self._rows: list[tuple[Any, ...]] = []
         self._pk_to_row: dict[Any, int] = {}
         self._indexes: list["HashIndex"] = []
+        #: content-fingerprint cache: (row count it was computed at, digest)
+        self._content_fp: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -108,6 +110,29 @@ class Table:
     def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
         """Iterate over (row_id, row) pairs in insertion order."""
         return iter(enumerate(self._rows))
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the full row contents, in row-id order.
+
+        Cached until the table grows: rows are append-only (there is no
+        update or delete), so the row count is a valid cache version.
+        This is what keeps snapshot attach-time validation
+        (:mod:`repro.persist.fingerprint`) O(1) for tables that have not
+        changed since the last computation, the way a DBMS compares a
+        catalog version instead of re-reading every page.
+        """
+        import hashlib
+
+        if self._content_fp is None or self._content_fp[0] != len(self._rows):
+            h = hashlib.sha256()
+            # Chunked repr: one C-level repr per slice keeps the hash fast
+            # without materialising the whole table as a single transient
+            # string (bounded extra memory for large tables).
+            for start in range(0, len(self._rows), 4096):
+                h.update(repr(self._rows[start : start + 4096]).encode("utf-8"))
+                h.update(b"\x1f")
+            self._content_fp = (len(self._rows), h.hexdigest())
+        return self._content_fp[1]
 
     def row_as_dict(self, row_id: int) -> dict[str, Any]:
         """Return a row as a column-name keyed dict (for display/CSV)."""

@@ -89,3 +89,19 @@ class SearchError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset generator is misconfigured."""
+
+
+class PersistError(ReproError):
+    """Raised for invalid snapshot-store operations (see :mod:`repro.persist`)."""
+
+
+class SnapshotFormatError(PersistError):
+    """Raised when a snapshot directory is corrupt, unreadable, or from an
+    unsupported format version (bad manifest, checksum failure, missing
+    arena files)."""
+
+
+class SnapshotMismatchError(PersistError):
+    """Raised when a structurally valid snapshot does not belong to the
+    attaching engine (dataset/schema fingerprint or importance-store digest
+    differs) — serving from it could silently return wrong trees."""

@@ -1,0 +1,39 @@
+"""Persistence tier: offline OS precompute + mmap snapshot store.
+
+The paper treats OS generation as preprocessing-friendly (Section 6.3:
+the DS/OS derive mechanically from the R_DS and G_DS, and the expensive
+part is I/O-bound tree generation); this package makes that preprocessing
+a first-class production feature:
+
+* :mod:`repro.persist.fingerprint` — content hashes tying a snapshot to
+  one (database, G_DS, θ, importance store) configuration;
+* :mod:`repro.persist.snapshot` — the versioned on-disk format
+  (``manifest.json`` + numpy ``.npy`` arenas) with atomic writes and a
+  zero-copy ``mmap`` reader;
+* :mod:`repro.persist.precompute` — the offline pipeline behind
+  ``repro precompute``.
+
+Serving integration lives where serving lives: the
+:class:`~repro.core.cache.SummaryCache` disk tier,
+:meth:`EngineBuilder.with_snapshot <repro.core.builder.EngineBuilder.with_snapshot>`,
+and ``Session(snapshot=...)``.
+"""
+
+from repro.persist.fingerprint import engine_fingerprint, store_digest
+from repro.persist.precompute import (
+    PrecomputeReport,
+    precompute_snapshot,
+    select_subjects,
+)
+from repro.persist.snapshot import FORMAT_VERSION, Snapshot, write_snapshot
+
+__all__ = [
+    "FORMAT_VERSION",
+    "PrecomputeReport",
+    "Snapshot",
+    "engine_fingerprint",
+    "precompute_snapshot",
+    "select_subjects",
+    "store_digest",
+    "write_snapshot",
+]

@@ -1,0 +1,103 @@
+"""Dataset / engine fingerprinting for snapshot validation.
+
+A snapshot records derived structures (data graph, inverted index, FlatOS
+trees, importance arrays) of one concrete (database, G_DS set, θ)
+configuration.  Serving those structures to a *different* configuration
+would silently return wrong trees, so every snapshot carries:
+
+* :func:`engine_fingerprint` — a SHA-256 over the database schema, the
+  table contents, the θ-pruned annotated G_DS structure of every R_DS
+  root, and θ itself.  Computed identically at precompute time and attach
+  time; any difference rejects the snapshot.
+* :func:`store_digest` — a SHA-256 over the per-table importance arrays.
+  Importance is *derived* state (the store may itself be loaded from the
+  snapshot), so it is digested separately: an engine that brings its own
+  store is checked against the digest, while an engine whose store came
+  from the snapshot is consistent by construction.
+
+Fingerprints are content hashes of deterministic Python reprs — no
+pickling, no floating-point round-tripping through text files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+    from repro.ranking.store import ImportanceStore
+    from repro.schema_graph.gds import GDS, GDSNode
+
+
+def _feed(h: "hashlib._Hash", *parts: object) -> None:
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")  # unit separator: ("ab", "c") != ("a", "bc")
+
+
+def _feed_schema(h: "hashlib._Hash", db: "Database") -> None:
+    for name in sorted(db.table_names):
+        table = db.table(name)
+        schema = table.schema
+        _feed(h, "table", name, schema.primary_key)
+        for column in schema.columns:
+            _feed(h, "column", column.name, column.type.name, column.nullable,
+                  getattr(column, "text_searchable", False))
+        for fk in schema.foreign_keys:
+            _feed(h, "fk", fk.column, fk.ref_table, fk.ref_column)
+
+
+def _feed_rows(h: "hashlib._Hash", db: "Database") -> None:
+    for name in sorted(db.table_names):
+        table = db.table(name)
+        # Delegated to the table's cached content fingerprint: append-only
+        # storage makes the row count a valid cache version, so repeated
+        # attach-time validations against an unchanged database are O(1).
+        _feed(h, "rows", name, len(table), table.content_fingerprint())
+
+
+def _feed_gds_node(h: "hashlib._Hash", node: "GDSNode") -> None:
+    parent_id = None if node.parent is None else node.parent.node_id
+    _feed(
+        h,
+        "gds-node",
+        node.node_id,
+        node.label,
+        node.table,
+        parent_id,
+        node.join,
+        f"{node.affinity:.12g}",
+        tuple(node.attributes),
+    )
+
+
+def engine_fingerprint(
+    db: "Database", gds_by_root: Mapping[str, "GDS"], theta: float
+) -> str:
+    """The identity of one (database, pruned G_DS set, θ) configuration.
+
+    *gds_by_root* must be the engine's **θ-pruned** G_DS trees (the ones
+    node ids in snapshotted FlatOS arrays refer to).  The max/mmax
+    annotations are deliberately excluded — they derive from the
+    importance store, which :func:`store_digest` covers separately.
+    """
+    h = hashlib.sha256()
+    _feed(h, "repro-snapshot-fingerprint", db.name, f"{theta:.12g}")
+    _feed_schema(h, db)
+    _feed_rows(h, db)
+    for root in sorted(gds_by_root):
+        _feed(h, "gds-root", root)
+        for node in gds_by_root[root].nodes():
+            _feed_gds_node(h, node)
+    return h.hexdigest()
+
+
+def store_digest(store: "ImportanceStore") -> str:
+    """A content hash of the per-table global-importance arrays."""
+    h = hashlib.sha256()
+    for table in sorted(store.tables()):
+        arr = store.array(table)
+        _feed(h, "store", table, arr.shape)
+        h.update(arr.tobytes())
+    return h.hexdigest()

@@ -1,8 +1,21 @@
-"""Inverted index over text-searchable columns of selected tables."""
+"""Inverted index over text-searchable columns of selected tables.
+
+Two interchangeable implementations share the conjunctive front end:
+
+* :class:`InvertedIndex` — the in-memory build path: one tokenizing scan
+  over the configured tables' searchable columns into a postings dict;
+* :class:`ArrayInvertedIndex` — the snapshot read path: sorted token and
+  CSR posting arrays (typically ``numpy`` memory maps written by
+  :mod:`repro.persist`), looked up by binary search with zero build cost.
+
+``InvertedIndex.to_arrays`` converts the former into the latter's layout.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.search.tokenizer import tokenize
@@ -16,7 +29,37 @@ class Posting:
     row_id: int
 
 
-class InvertedIndex:
+class BaseInvertedIndex:
+    """The conjunctive AND semantics, over any :meth:`lookup` implementation."""
+
+    def lookup(self, token: str) -> set[Posting]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def conjunctive(self, keywords: list[str]) -> set[Posting]:
+        """Tuples containing *all* keywords (each keyword may be multi-token).
+
+        A multi-token keyword (e.g. ``"Christos Faloutsos"``) matches a tuple
+        containing every one of its tokens.  The result is the intersection
+        over keywords — the AND semantics of keyword queries in the paper.
+        """
+        result: set[Posting] | None = None
+        for keyword in keywords:
+            tokens = tokenize(keyword)
+            if not tokens:
+                continue
+            keyword_match: set[Posting] | None = None
+            for token in tokens:
+                postings = self.lookup(token)
+                keyword_match = (
+                    postings if keyword_match is None else keyword_match & postings
+                )
+            if keyword_match is None:
+                keyword_match = set()
+            result = keyword_match if result is None else result & keyword_match
+        return result if result is not None else set()
+
+
+class InvertedIndex(BaseInvertedIndex):
     """token → set of (table, row_id) over configured tables' searchable columns.
 
     Only columns flagged ``text_searchable`` in the schema are indexed (e.g.
@@ -52,25 +95,93 @@ class InvertedIndex:
         """Postings for one token (empty set when absent)."""
         return set(self._postings.get(token.lower(), set()))
 
-    def conjunctive(self, keywords: list[str]) -> set[Posting]:
-        """Tuples containing *all* keywords (each keyword may be multi-token).
+    def token_frequencies(self) -> list[tuple[str, int]]:
+        """``(token, posting count)`` pairs, most frequent first.
 
-        A multi-token keyword (e.g. ``"Christos Faloutsos"``) matches a tuple
-        containing every one of its tokens.  The result is the intersection
-        over keywords — the AND semantics of keyword queries in the paper.
+        Ties break by token, so the order is deterministic; the offline
+        precompute pipeline uses this to pick the subjects the most popular
+        keywords resolve to.
         """
-        result: set[Posting] | None = None
-        for keyword in keywords:
-            tokens = tokenize(keyword)
-            if not tokens:
-                continue
-            keyword_match: set[Posting] | None = None
-            for token in tokens:
-                postings = self.lookup(token)
-                keyword_match = (
-                    postings if keyword_match is None else keyword_match & postings
-                )
-            if keyword_match is None:
-                keyword_match = set()
-            result = keyword_match if result is None else result & keyword_match
-        return result if result is not None else set()
+        return sorted(
+            ((token, len(postings)) for token, postings in self._postings.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def to_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[str]]:
+        """The postings as sorted-token CSR arrays (the snapshot layout).
+
+        Returns ``(tokens, indptr, table_ids, row_ids, table_names)``:
+        *tokens* is a sorted fixed-width unicode array, token ``i``'s
+        postings are ``indptr[i]:indptr[i + 1]`` of the parallel
+        ``table_ids`` (indices into *table_names*) and ``row_ids`` arrays,
+        sorted by (table, row) within each token.
+        """
+        tokens = sorted(self._postings)
+        table_names = list(self.tables)
+        table_index = {name: i for i, name in enumerate(table_names)}
+        indptr = np.zeros(len(tokens) + 1, dtype=np.int64)
+        table_ids: list[int] = []
+        row_ids: list[int] = []
+        for i, token in enumerate(tokens):
+            postings = sorted(
+                self._postings[token], key=lambda p: (table_index[p.table], p.row_id)
+            )
+            indptr[i + 1] = indptr[i] + len(postings)
+            table_ids.extend(table_index[p.table] for p in postings)
+            row_ids.extend(p.row_id for p in postings)
+        return (
+            np.array(tokens, dtype=np.str_),
+            indptr,
+            np.array(table_ids, dtype=np.int32),
+            np.array(row_ids, dtype=np.int32),
+            table_names,
+        )
+
+
+class ArrayInvertedIndex(BaseInvertedIndex):
+    """A read-only inverted index over pre-built (possibly memory-mapped) arrays.
+
+    Construction cost is O(1): no scan, no tokenizing — token lookup is a
+    binary search over the sorted *tokens* array and a CSR slice of the
+    postings.  This is how an attached snapshot serves keyword search
+    without rebuilding the index (the cold-start win the persistence tier
+    exists for).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        tokens: np.ndarray,
+        indptr: np.ndarray,
+        table_ids: np.ndarray,
+        row_ids: np.ndarray,
+        table_names: list[str],
+    ) -> None:
+        if len(indptr) != len(tokens) + 1:
+            raise ValueError("indptr must have len(tokens) + 1 entries")
+        if len(table_ids) != len(row_ids):
+            raise ValueError("table_ids and row_ids must be parallel arrays")
+        self.db = db
+        self.tables = list(table_names)
+        self._tokens = tokens
+        self._indptr = indptr
+        self._table_ids = table_ids
+        self._row_ids = row_ids
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._tokens)
+
+    def lookup(self, token: str) -> set[Posting]:
+        """Postings for one token (empty set when absent)."""
+        token = token.lower()
+        pos = int(np.searchsorted(self._tokens, token))
+        if pos >= len(self._tokens) or str(self._tokens[pos]) != token:
+            return set()
+        lo, hi = int(self._indptr[pos]), int(self._indptr[pos + 1])
+        return {
+            Posting(self.tables[int(tid)], int(row))
+            for tid, row in zip(self._table_ids[lo:hi], self._row_ids[lo:hi])
+        }

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.db.database import Database
 from repro.errors import SearchError
 from repro.ranking.store import ImportanceStore
-from repro.search.inverted_index import InvertedIndex
+from repro.search.inverted_index import BaseInvertedIndex, InvertedIndex
 
 
 @dataclass(frozen=True)
@@ -33,13 +33,16 @@ class KeywordSearcher:
         db: Database,
         rds_tables: list[str],
         store: ImportanceStore,
+        index: BaseInvertedIndex | None = None,
     ) -> None:
         if not rds_tables:
             raise SearchError("at least one R_DS table is required")
         self.db = db
         self.rds_tables = list(rds_tables)
         self.store = store
-        self.index = InvertedIndex(db, rds_tables)
+        # A prebuilt index (e.g. the memory-mapped ArrayInvertedIndex of an
+        # attached snapshot) skips the tokenizing build scan entirely.
+        self.index = index if index is not None else InvertedIndex(db, rds_tables)
 
     def search(self, keywords: list[str] | str) -> list[DataSubjectMatch]:
         """Resolve keywords to ranked t_DS matches (conjunctive semantics)."""

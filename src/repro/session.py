@@ -60,9 +60,19 @@ class Session:
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
         parallel: ParallelConfig | None = None,
+        snapshot: "Any | None" = None,
     ) -> None:
         self.engine = engine
         self.cache = SummaryCache(engine, max_subjects=cache_size)
+        if snapshot is not None:
+            # A precomputed repro.persist snapshot (or its directory
+            # path): becomes the cache's disk tier.  Imported lazily —
+            # persist depends on this module for its fan-out.
+            from repro.persist.snapshot import Snapshot
+
+            if not isinstance(snapshot, Snapshot):
+                snapshot = Snapshot.open(snapshot)
+            self.cache.attach_snapshot(snapshot)
         self.defaults = (
             defaults if defaults is not None else QueryOptions()
         ).normalized()
@@ -90,14 +100,20 @@ class Session:
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
         parallel: ParallelConfig | None = None,
+        snapshot: "Any | None" = None,
     ) -> "Session":
         """Build from a dataset exposing ``db`` / ``default_gds()`` /
-        ``default_store()`` (the synthetic DBLP and TPC-H datasets do)."""
+        ``default_store()`` (the synthetic DBLP and TPC-H datasets do).
+
+        ``snapshot`` (a :mod:`repro.persist` snapshot or its path) warm-
+        starts the whole stack: data graph, inverted index, importance
+        store, and precomputed complete OSs come off disk."""
         from repro.core.builder import EngineBuilder
 
-        return EngineBuilder.from_dataset(
-            dataset, store=store, theta=theta
-        ).build_session(
+        builder = EngineBuilder.from_dataset(dataset, store=store, theta=theta)
+        if snapshot is not None:
+            builder.with_snapshot(snapshot)
+        return builder.build_session(
             cache_size=cache_size, defaults=defaults, parallel=parallel
         )
 
@@ -111,11 +127,15 @@ class Session:
         cache_size: int = 64,
         defaults: QueryOptions | None = None,
         parallel: ParallelConfig | None = None,
+        snapshot: "Any | None" = None,
     ) -> "Session":
         """Build over one of the on-the-fly demo databases ("dblp"/"tpch")."""
         from repro.core.builder import EngineBuilder
 
-        return EngineBuilder.named(name, seed=seed, scale=scale).build_session(
+        builder = EngineBuilder.named(name, seed=seed, scale=scale)
+        if snapshot is not None:
+            builder.with_snapshot(snapshot)
+        return builder.build_session(
             cache_size=cache_size, defaults=defaults, parallel=parallel
         )
 
@@ -437,4 +457,10 @@ class Session:
             "workers": self.parallel.workers,
             "ordered": self.parallel.ordered,
         }
+        snapshot = self.cache.snapshot
+        info["snapshot"] = (
+            None
+            if snapshot is None
+            else {"path": str(snapshot.path), "subjects": len(snapshot)}
+        )
         return info

@@ -37,6 +37,21 @@ def dblp_engine(dblp: DBLPDataset, dblp_store: ImportanceStore) -> SizeLEngine:
 
 
 @pytest.fixture(scope="session")
+def dblp_snapshot(dblp_engine: SizeLEngine, tmp_path_factory):
+    """A snapshot of every author subject of the shared DBLP engine.
+
+    Session-scoped (like the engine it fingerprints): writing it costs one
+    full-table precompute, reused by the persistence and serving tests.
+    """
+    from repro.persist import Snapshot, precompute_snapshot, select_subjects
+
+    path = tmp_path_factory.mktemp("persist") / "dblp-snapshot"
+    subjects = select_subjects(dblp_engine, table="author")
+    precompute_snapshot(dblp_engine, subjects, path, workers=2)
+    return Snapshot.open(path)
+
+
+@pytest.fixture(scope="session")
 def tpch() -> TPCHDataset:
     return small_tpch(seed=11)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_ERROR, EXIT_NO_RESULTS, EXIT_OK, build_parser, main
 
 
 class TestParser:
@@ -75,3 +75,150 @@ class TestCommands:
         assert code == 0
         assert "optimal family" in out
         assert "Jaccard" in out
+
+
+class TestExitCodes:
+    """The pinned contract: 0 = success, 1 = no results, 2 = usage error."""
+
+    def test_success_is_zero(self, capsys) -> None:
+        assert (
+            main(["--scale", "0.2", "query", "--keywords", "Faloutsos", "--l", "5"])
+            == EXIT_OK
+        )
+        capsys.readouterr()
+
+    def test_no_results_is_one(self, capsys) -> None:
+        assert (
+            main(["--scale", "0.2", "query", "--keywords", "zzznothing"])
+            == EXIT_NO_RESULTS
+        )
+        capsys.readouterr()
+
+    def test_library_error_is_two_with_stderr_message(self, capsys) -> None:
+        code = main(
+            ["--scale", "0.2", "query", "--keywords", "x", "--l", "0"]
+        )
+        assert code == EXIT_ERROR
+        assert "summary size l" in capsys.readouterr().err
+
+    def test_unknown_gds_subject_is_two(self, capsys) -> None:
+        code = main(["--scale", "0.2", "gds", "--subject", "nope"])
+        assert code == EXIT_ERROR
+        assert "no G_DS registered" in capsys.readouterr().err
+
+    def test_argparse_usage_error_is_two(self) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query"])  # --keywords is required
+        assert excinfo.value.code == EXIT_ERROR
+
+
+class TestPrecomputeCLI:
+    def test_precompute_then_query_snapshot_round_trip(
+        self, tmp_path, capsys
+    ) -> None:
+        snap = tmp_path / "snap.d"
+        code = main(
+            [
+                "--scale", "0.2",
+                "precompute",
+                "--out", str(snap),
+                "--table", "author",
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "snapshot written" in out
+        assert snap.is_dir() and (snap / "manifest.json").is_file()
+
+        query = [
+            "--scale", "0.2",
+            "query",
+            "--keywords", "Faloutsos",
+            "--l", "6",
+            "--source", "complete",
+        ]
+        assert main(query) == EXIT_OK
+        cold = capsys.readouterr().out
+        assert main(query + ["--snapshot", str(snap)]) == EXIT_OK
+        warm = capsys.readouterr().out
+        # identical rendered results, and every OS came off the disk tier
+        assert warm.startswith(cold)
+        assert "disk hits: 3, disk misses: 0" in warm
+
+    def test_no_verify_flag_skips_checksums_but_not_fingerprint(
+        self, tmp_path, capsys
+    ) -> None:
+        snap = tmp_path / "snap.d"
+        assert (
+            main(
+                [
+                    "--scale", "0.2",
+                    "precompute", "--out", str(snap),
+                    "--table", "author", "--ids", "0", "1", "2",
+                ]
+            )
+            == EXIT_OK
+        )
+        capsys.readouterr()
+        query = [
+            "--scale", "0.2",
+            "query", "--keywords", "Faloutsos", "--l", "5",
+            "--source", "complete",
+            "--snapshot", str(snap), "--no-verify",
+        ]
+        assert main(query) == EXIT_OK
+        assert "disk hits: 3" in capsys.readouterr().out
+        # fingerprint validation still runs without checksum verification
+        assert main(["--seed", "99"] + query) == EXIT_ERROR
+        assert "does not match" in capsys.readouterr().err
+
+    def test_existing_out_dir_without_overwrite_is_two(
+        self, tmp_path, capsys
+    ) -> None:
+        snap = tmp_path / "snap.d"
+        args = [
+            "--scale", "0.2",
+            "precompute", "--out", str(snap), "--table", "author",
+            "--ids", "0", "1",
+        ]
+        assert main(args) == EXIT_OK
+        capsys.readouterr()
+        assert main(args) == EXIT_ERROR
+        assert "already exists" in capsys.readouterr().err
+        assert main(args + ["--overwrite"]) == EXIT_OK
+        capsys.readouterr()
+
+    def test_mismatched_snapshot_is_two(self, tmp_path, capsys) -> None:
+        snap = tmp_path / "snap.d"
+        assert (
+            main(
+                [
+                    "--scale", "0.2",
+                    "precompute", "--out", str(snap),
+                    "--table", "author", "--ids", "0",
+                ]
+            )
+            == EXIT_OK
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "--scale", "0.2", "--seed", "99",
+                "query", "--keywords", "Faloutsos",
+                "--snapshot", str(snap),
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "does not match" in capsys.readouterr().err
+
+    def test_bad_selector_is_two(self, tmp_path, capsys) -> None:
+        code = main(
+            [
+                "--scale", "0.2",
+                "precompute", "--out", str(tmp_path / "s"),
+                "--ids", "1",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "requires" in capsys.readouterr().err

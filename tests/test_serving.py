@@ -446,6 +446,210 @@ class TestParallelConfigValidation:
         assert config.workers == 1 and config.ordered is True
 
 
+class TestDiskTierConcurrency:
+    """The snapshot (disk) tier under the same hammer patterns as memory.
+
+    A memory-evicted subject must be re-served from the snapshot — once,
+    no matter how many threads ask (single-flight covers the disk load) —
+    and ``invalidate()`` must mask the disk entry so racing readers can
+    never resurrect a stale tree.
+    """
+
+    def _counting_snapshot(self, monkeypatch, snapshot, delay: float = 0.002):
+        """Wrap snapshot.load_flat with a call counter + slowdown."""
+        original = snapshot.load_flat
+        lock = threading.Lock()
+        calls: list[tuple[str, int]] = []
+
+        def wrapped(rds_table, row_id, *args, **kwargs):
+            with lock:
+                calls.append((rds_table, row_id))
+            time.sleep(delay)
+            return original(rds_table, row_id, *args, **kwargs)
+
+        monkeypatch.setattr(snapshot, "load_flat", wrapped)
+        return calls
+
+    def test_concurrent_disk_loads_are_single_flight(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        loads = self._counting_snapshot(monkeypatch, dblp_snapshot)
+        cache = SummaryCache(dblp_engine, snapshot=dblp_snapshot)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+
+        def fetch():
+            barrier.wait()
+            return cache.complete_os_flat("author", 1)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            trees = [f.result() for f in [pool.submit(fetch) for _ in range(n_threads)]]
+
+        assert len(loads) == 1  # one disk load despite eight callers
+        assert all(tree is trees[0] for tree in trees)
+        stats = cache.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["tree_generations"] == 0
+
+    def test_evicted_subject_reserved_from_disk_not_regenerated(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        generations = _slow(monkeypatch, dblp_engine, "complete_os_flat")
+        loads = self._counting_snapshot(monkeypatch, dblp_snapshot, delay=0.001)
+        cache = SummaryCache(dblp_engine, max_subjects=1, snapshot=dblp_snapshot)
+        options = QueryOptions(l=6, source=Source.COMPLETE)
+
+        cache.run("author", 1, options)
+        cache.run("author", 2, options)  # capacity 1: evicts subject 1
+        assert cache.stats()["evictions"] == 1
+
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            return cache.run("author", 1, options)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = [
+                f.result() for f in [pool.submit(hammer) for _ in range(n_threads)]
+            ]
+
+        assert generations == []  # every serve came off the snapshot
+        assert loads.count(("author", 1)) == 2  # initial + post-eviction
+        assert cache.stats()["disk_hits"] == 3  # subjects 1, 2, 1-again
+        assert len({frozenset(r.selected_uids) for r in results}) == 1
+
+    def test_invalidate_masks_disk_entry_under_concurrency(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        generations = _slow(monkeypatch, dblp_engine, "complete_os_flat")
+        cache = SummaryCache(dblp_engine, snapshot=dblp_snapshot)
+        cache.complete_os_flat("author", 3)
+        assert cache.stats()["disk_hits"] == 1
+
+        cache.invalidate("author", 3)
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+
+        def fetch():
+            barrier.wait()
+            return cache.complete_os_flat("author", 3)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            trees = [f.result() for f in [pool.submit(fetch) for _ in range(n_threads)]]
+
+        # the masked entry was never re-served: exactly one real generation
+        assert len(generations) == 1
+        stats = cache.stats()
+        assert stats["snapshot_stale"] == 1
+        assert stats["disk_hits"] == 1  # unchanged from before the invalidate
+        assert all(tree is trees[0] for tree in trees)
+        # a scoped invalidate elsewhere leaves other disk entries servable
+        cache.invalidate("paper")
+        cache.complete_os_flat("author", 4)
+        assert cache.stats()["disk_hits"] == 2
+
+    def test_snapshot_false_caller_never_joins_a_disk_load_flight(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        """QueryOptions(snapshot=False) promises a fresh generation on a
+        miss; a concurrent default-options leader mid-disk-load must not
+        hand its snapshot tree to the opted-out caller (the disk flag is
+        part of the single-flight key)."""
+        generations = _slow(monkeypatch, dblp_engine, "complete_os_flat")
+        cache = SummaryCache(dblp_engine, snapshot=dblp_snapshot)
+        in_disk_load = threading.Event()
+        release_disk_load = threading.Event()
+        original = dblp_snapshot.load_flat
+
+        def gated(rds_table, row_id, *args, **kwargs):
+            in_disk_load.set()
+            release_disk_load.wait(timeout=5)
+            return original(rds_table, row_id, *args, **kwargs)
+
+        monkeypatch.setattr(dblp_snapshot, "load_flat", gated)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            leader = pool.submit(cache.complete_os_flat, "author", 5)
+            assert in_disk_load.wait(timeout=5)
+            # the leader is inside its disk load right now
+            opted_out = pool.submit(
+                lambda: cache.complete_os_flat("author", 5, snapshot=False)
+            )
+            fresh = opted_out.result(timeout=5)  # must not block on the leader
+            release_disk_load.set()
+            disk_tree = leader.result(timeout=5)
+        assert len(generations) == 1  # the opted-out caller generated
+        assert fresh is not disk_tree
+        stats = cache.stats()
+        assert stats["disk_hits"] == 1 and stats["tree_generations"] == 1
+
+    def test_snapshot_false_run_never_joins_a_disk_derived_result_flight(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        """The result-level single-flight must split on the snapshot flag
+        too: a run(snapshot=False) arriving while a default-options leader
+        computes from the disk tree must run its own live pipeline."""
+        generations = _slow(monkeypatch, dblp_engine, "complete_os_flat")
+        cache = SummaryCache(dblp_engine, snapshot=dblp_snapshot)
+        in_disk_load = threading.Event()
+        release = threading.Event()
+        original = dblp_snapshot.load_flat
+
+        def gated(rds_table, row_id, *args, **kwargs):
+            in_disk_load.set()
+            release.wait(timeout=5)
+            return original(rds_table, row_id, *args, **kwargs)
+
+        monkeypatch.setattr(dblp_snapshot, "load_flat", gated)
+        options = QueryOptions(l=6, source=Source.COMPLETE).normalized()
+        opted_out = options.replace(snapshot=False).normalized()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            leader = pool.submit(cache.run, "author", 6, options)
+            assert in_disk_load.wait(timeout=5)
+            fresh = pool.submit(cache.run, "author", 6, opted_out).result(timeout=5)
+            release.set()
+            from_disk = leader.result(timeout=5)
+        assert len(generations) == 1  # the opted-out run regenerated
+        assert fresh.selected_uids == from_disk.selected_uids  # same answer
+        stats = cache.stats()
+        assert stats["result_computations"] == 2  # two independent pipelines
+        assert stats["tree_generations"] == 1 and stats["disk_hits"] == 1
+
+    def test_zipfian_hammer_disk_tier_no_duplicate_loads(
+        self, dblp_engine, dblp_snapshot, monkeypatch
+    ) -> None:
+        generations = _slow(monkeypatch, dblp_engine, "complete_os_flat")
+        loads = self._counting_snapshot(monkeypatch, dblp_snapshot, delay=0.001)
+        cache = SummaryCache(dblp_engine, max_subjects=64, snapshot=dblp_snapshot)
+        options = QueryOptions(l=8, source=Source.COMPLETE)
+        subjects = list(range(6))
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes: dict[int, list[frozenset]] = {s: [] for s in subjects}
+        collect = threading.Lock()
+
+        def client(seed: int) -> None:
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(30):
+                row = subjects[min(int(rng.paretovariate(1.2)) - 1, len(subjects) - 1)]
+                result = cache.run("author", row, options)
+                with collect:
+                    outcomes[row].append(frozenset(result.selected_uids))
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [pool.submit(client, seed) for seed in range(n_threads)]:
+                future.result()
+
+        touched = {row for row, seen in outcomes.items() if seen}
+        assert generations == []  # the snapshot covered every subject
+        assert len(loads) == len(touched)  # single-flight on the disk tier
+        assert cache.stats()["disk_hits"] == len(touched)
+        for row in touched:
+            assert len(set(outcomes[row])) == 1
+
+
 class TestCLIWorkers:
     def test_query_with_workers_flag(self, capsys) -> None:
         from repro.cli import main
