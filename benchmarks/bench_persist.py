@@ -123,8 +123,8 @@ def _cold_start(
         "warmup_seconds": warmup_seconds,
         "first_query_seconds": query_seconds,
         "total_seconds": build_seconds + warmup_seconds + query_seconds,
-        "disk_hits": stats["disk_hits"],
-        "tree_generations": stats["tree_generations"],
+        "disk_hits": stats.disk_hits,
+        "tree_generations": stats.tree_generations,
         "results": results,
     }
 

@@ -1,0 +1,372 @@
+"""Service-layer benchmark: wire-protocol overhead (BENCH_service.json).
+
+Measures what a request pays for crossing the :mod:`repro.service`
+surface instead of calling the Session directly — the cost every future
+transport inherits:
+
+* ``dispatch``: a warm zipfian keyword-query stream served twice — once
+  as direct ``Session.keyword_query`` calls, once as full wire requests
+  (encode request dict → ``ServiceDispatcher.dispatch`` → encoded
+  response dict).  The difference is the per-request DTO-codec + dispatch
+  overhead; the gate regresses ``overhead_ratio`` (service time / direct
+  time), a within-run ratio so shared-runner noise cancels out.
+* ``codec``: the pure codec microbench — ``decode(encode(request))``
+  round-trips per second, no engine behind it.
+* ``http_smoke``: boots the real ``repro serve`` CLI as a subprocess on
+  an ephemeral port, pages one keyword query through ``/v1/query`` across
+  cursor requests, and checks the union against the direct results.
+  Latency is reported, not gated (it includes socket + process noise).
+
+The run self-verifies: the service-path results must be node-for-node
+identical to the direct ones, and the paged union must equal the unpaged
+result list — a silent divergence fails the run even without ``--check``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py --quick \
+        --check BENCH_service.json --out /tmp/bench_service_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.options import QueryOptions  # noqa: E402
+from repro.datasets.dblp import DBLPConfig, generate_dblp  # noqa: E402
+from repro.service import Deployment, ServiceDispatcher  # noqa: E402
+from repro.service.protocol import (  # noqa: E402
+    QueryRequest,
+    decode_query_request,
+    encode_request,
+)
+from repro.session import Session  # noqa: E402
+
+SCHEMA_VERSION = 1
+SIZE_L = 10
+ZIPF_A = 1.2
+REPEATS = 3  # best-of filter against scheduler noise (as the other benches)
+
+
+def build_workload(quick: bool) -> dict:
+    """One dataset + a deterministic zipfian stream of author queries."""
+    if quick:
+        config = DBLPConfig(
+            n_authors=120, n_papers=280, mean_citations_per_paper=5.0, seed=7
+        )
+        n_subjects, n_queries = 12, 150
+    else:
+        config = DBLPConfig(seed=7)  # the bench-scale defaults (300 / 800)
+        n_subjects, n_queries = 40, 600
+
+    dataset = generate_dblp(config)
+    session = Session.from_dataset(dataset, cache_size=256)
+    store = session.engine.store
+    by_rank = np.argsort(store.array("author"))[::-1][:n_subjects]
+    author = dataset.db.table("author")
+    name_idx = author.schema.column_index("name")
+    names = [str(author.row(int(row))[name_idx]) for row in by_rank]
+    rng = np.random.default_rng(7)
+    ranks = np.minimum(rng.zipf(ZIPF_A, size=n_queries) - 1, n_subjects - 1)
+    stream = [names[int(rank)] for rank in ranks]
+    return {
+        "session": session,
+        "stream": stream,
+        "fixture": {
+            "dataset": "synthetic-dblp",
+            "seed": config.seed,
+            "n_authors": config.n_authors,
+            "n_papers": config.n_papers,
+        },
+        "workload": {"n_queries": n_queries, "zipf_a": ZIPF_A, "l": SIZE_L},
+    }
+
+
+def _result_keys(entries) -> list[tuple[str, int, frozenset]]:
+    return [
+        (e.match.table, e.match.row_id, frozenset(e.result.selected_uids))
+        for e in entries
+    ]
+
+
+def _wire_keys(body: dict) -> list[tuple[str, int, frozenset]]:
+    return [
+        (r["table"], r["row_id"], frozenset(r["selected_uids"]))
+        for r in body["results"]
+    ]
+
+
+def bench_dispatch(session: Session, stream: list[str]) -> dict:
+    """Direct warm calls vs the full dict-in/dict-out dispatch path."""
+    deployment = Deployment().add_session("dblp", session)
+    dispatcher = ServiceDispatcher(deployment)
+    options = QueryOptions(l=SIZE_L)
+    wire_options = options.normalized().as_dict()
+
+    # Warm every subject in the stream once so both measured passes pay
+    # cache hits — what is left over IS the serve-path overhead.
+    for keywords in set(stream):
+        session.keyword_query(keywords, options=options)
+
+    def run_direct() -> tuple[float, list]:
+        start = time.perf_counter()
+        outcomes = [
+            _result_keys(session.keyword_query(kw, options=options))
+            for kw in stream
+        ]
+        return time.perf_counter() - start, outcomes
+
+    def run_service() -> tuple[float, list]:
+        start = time.perf_counter()
+        outcomes = []
+        for keywords in stream:
+            body = dispatcher.dispatch(
+                "/v1/query",
+                {
+                    "dataset": "dblp",
+                    "keywords": [keywords],
+                    "options": wire_options,
+                },
+            )
+            outcomes.append(_wire_keys(body))
+        return time.perf_counter() - start, outcomes
+
+    direct_seconds, direct_results = min(
+        (run_direct() for _ in range(REPEATS)), key=lambda pair: pair[0]
+    )
+    service_seconds, service_results = min(
+        (run_service() for _ in range(REPEATS)), key=lambda pair: pair[0]
+    )
+    identical = direct_results == service_results
+    n = len(stream)
+    overhead_us = (service_seconds - direct_seconds) / n * 1e6
+    return {
+        "n_requests": n,
+        "direct_seconds": direct_seconds,
+        "service_seconds": service_seconds,
+        "direct_us_per_request": direct_seconds / n * 1e6,
+        "service_us_per_request": service_seconds / n * 1e6,
+        "overhead_us_per_request": overhead_us,
+        "overhead_ratio": service_seconds / direct_seconds,
+        "identical_results": identical,
+    }
+
+
+def bench_codec(rounds: int) -> dict:
+    """decode(encode(request)) round-trips per second (no engine)."""
+    request = QueryRequest(
+        dataset="dblp",
+        keywords=("Faloutsos",),
+        options=QueryOptions(l=SIZE_L).normalized(),
+        page_size=3,
+    )
+    start = time.perf_counter()
+    for _ in range(rounds):
+        decoded = decode_query_request(encode_request(request))
+    seconds = time.perf_counter() - start
+    return {
+        "rounds": rounds,
+        "roundtrips_per_second": rounds / seconds,
+        "us_per_roundtrip": seconds / rounds * 1e6,
+        "identity": decoded == request,
+    }
+
+
+def _post(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def bench_http_smoke(quick: bool) -> dict:
+    """Boot the real ``repro serve`` CLI and page a query through it."""
+    scale = "0.2" if quick else "1.0"
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
+        ready = Path(workdir) / "ready.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "--scale", scale,
+                "serve", "--port", "0", "--ready-file", str(ready),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while not ready.is_file():
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        "repro serve exited early: "
+                        + process.stderr.read().decode("utf-8", "replace")
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError("repro serve did not come up in time")
+                time.sleep(0.05)
+            url = ready.read_text(encoding="utf-8").strip()
+
+            paged: list = []
+            cursor = None
+            latencies: list[float] = []
+            requests = 0
+            while True:
+                body: dict = {
+                    "dataset": "dblp",
+                    "keywords": ["Faloutsos"],
+                    "options": {"l": SIZE_L},
+                    "page_size": 1,
+                }
+                if cursor is not None:
+                    body["cursor"] = cursor
+                start = time.perf_counter()
+                payload = _post(url + "/v1/query", body)
+                latencies.append(time.perf_counter() - start)
+                requests += 1
+                paged.extend(_wire_keys(payload))
+                cursor = payload["next_cursor"]
+                if cursor is None:
+                    break
+            whole = _post(
+                url + "/v1/query",
+                {"dataset": "dblp", "keywords": ["Faloutsos"],
+                 "options": {"l": SIZE_L}},
+            )
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+    return {
+        "requests": requests,
+        "paged_equals_unpaged": paged == _wire_keys(whole),
+        "mean_latency_ms": sum(latencies) / len(latencies) * 1e3,
+        "first_request_ms": latencies[0] * 1e3,
+    }
+
+
+def run_mode(quick: bool) -> dict:
+    workload = build_workload(quick)
+    session = workload["session"]
+
+    dispatch = bench_dispatch(session, workload["stream"])
+    codec = bench_codec(2_000 if quick else 20_000)
+    smoke = bench_http_smoke(quick)
+
+    print(
+        f"  dispatch: direct {dispatch['direct_us_per_request']:.0f}us vs "
+        f"service {dispatch['service_us_per_request']:.0f}us per request "
+        f"(overhead {dispatch['overhead_us_per_request']:.0f}us, "
+        f"ratio {dispatch['overhead_ratio']:.2f}x); identical results: "
+        f"{'OK' if dispatch['identical_results'] else 'MISMATCH'}"
+    )
+    print(
+        f"  codec: {codec['roundtrips_per_second']:.0f} request "
+        f"round-trips/s ({codec['us_per_roundtrip']:.1f}us each)"
+    )
+    print(
+        f"  http smoke: {smoke['requests']} paged requests over repro serve, "
+        f"mean {smoke['mean_latency_ms']:.1f}ms; paged == unpaged: "
+        f"{'OK' if smoke['paged_equals_unpaged'] else 'MISMATCH'}"
+    )
+    return {
+        "fixture": workload["fixture"],
+        "workload": workload["workload"],
+        "dispatch": dispatch,
+        "codec": codec,
+        "http_smoke": smoke,
+        "verified": {
+            "identical_results": dispatch["identical_results"],
+            "codec_identity": codec["identity"],
+            "paged_equals_unpaged": smoke["paged_equals_unpaged"],
+            "paged_across_requests": smoke["requests"] >= 2,
+        },
+    }
+
+
+def check_regression(baseline_path: Path, mode: str, result: dict) -> int:
+    """Fail when the serve-path overhead ratio doubled vs the baseline."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    try:
+        committed = baseline["modes"][mode]["dispatch"]["overhead_ratio"]
+    except KeyError:
+        print(f"CHECK SKIPPED: no '{mode}' baseline in {baseline_path}")
+        return 0
+    ceiling = committed * 2.0
+    current = result["dispatch"]["overhead_ratio"]
+    verdict = "OK" if current <= ceiling else "REGRESSION"
+    print(
+        f"CHECK [{mode}]: service/direct overhead ratio {current:.2f}x vs "
+        f"committed {committed:.2f}x (ceiling {ceiling:.2f}x) -> {verdict}"
+    )
+    return 0 if current <= ceiling else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small fixture (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="JSON output path (merged per mode; default: repo-root "
+        "BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline; exit 1 on a >2x regression",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"===== bench_service [{mode}] =====")
+    result = run_mode(args.quick)
+
+    payload: dict = {"schema_version": SCHEMA_VERSION, "modes": {}}
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text(encoding="utf-8"))
+            if existing.get("schema_version") == SCHEMA_VERSION:
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload["modes"][mode] = result
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    verified = result["verified"]
+    if not all(verified.values()):
+        print(f"FAIL: verification failed: {verified}")
+        return 1
+    if args.check is not None:
+        return check_regression(args.check, mode, result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

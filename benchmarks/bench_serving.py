@@ -175,13 +175,12 @@ def _run_stream(engine, stream, options: QueryOptions, workers: int) -> dict:
     seconds = time.perf_counter() - start
 
     stats = session.cache_stats()
-    served = stats["hits"] + stats["misses"] + stats["single_flight_waits"]
     return {
         "seconds": seconds,
         "queries_per_second": len(stream) / seconds,
-        "hit_rate": (stats["hits"] + stats["single_flight_waits"]) / max(1, served),
+        "hit_rate": stats.hit_rate,
         "distinct_subjects": len(matched),
-        "cache": stats,
+        "cache": stats.as_dict(),
     }
 
 
@@ -195,7 +194,7 @@ def _run_fanout(engine, subjects, options: QueryOptions, workers: int) -> dict:
     return {
         "seconds": seconds,
         "subjects_per_second": len(subjects) / seconds,
-        "cache": session.cache_stats(),
+        "cache": session.cache_stats().as_dict(),
     }
 
 

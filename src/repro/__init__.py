@@ -12,9 +12,12 @@ The library implements the paper's complete stack from scratch:
   (:mod:`repro.core`),
 * keyword search (:mod:`repro.search`),
 * synthetic DBLP and TPC-H datasets (:mod:`repro.datasets`),
-* the Section-6 experiment harness (:mod:`repro.evaluation`), and
+* the Section-6 experiment harness (:mod:`repro.evaluation`),
 * an offline-precompute + mmap snapshot persistence tier
-  (:mod:`repro.persist`).
+  (:mod:`repro.persist`), and
+* a service layer — typed wire protocol, multi-dataset
+  :class:`~repro.service.Deployment` registry, :class:`AsyncSession`, and
+  the ``repro serve`` HTTP front end (:mod:`repro.service`).
 
 Quickstart::
 
@@ -32,6 +35,7 @@ and the old→new migration table.
 from repro.core import (
     Algorithm,
     Backend,
+    CacheStats,
     EngineBuilder,
     FlatOS,
     KeywordResult,
@@ -57,6 +61,7 @@ from repro.core import (
     top_path_size_l,
 )
 from repro.session import Session
+from repro.service import AsyncSession, Deployment
 from repro.persist import (
     Snapshot,
     precompute_snapshot,
@@ -81,7 +86,10 @@ __all__ = [
     "SizeLEngine",
     "SizeLResult",
     "Session",
+    "AsyncSession",
+    "Deployment",
     "SummaryCache",
+    "CacheStats",
     "KeywordResult",
     "EngineBuilder",
     "ParallelConfig",

@@ -9,13 +9,15 @@ Usage (after ``pip install -e .``)::
     python -m repro precompute --database dblp --out snap.d --table author
     python -m repro query --database dblp --keywords Faloutsos \\
         --source complete --snapshot snap.d
+    python -m repro serve --database dblp --snapshot snap.d --port 8077
     python -m repro gds --database dblp --subject author
     python -m repro analyze --database dblp --subject author --max-l 25
 
 ``query`` runs the paper's end-to-end pipeline (Examples 3-5), streaming
 each result as its size-l OS is computed; ``precompute`` generates
 complete OSs offline and writes a :mod:`repro.persist` snapshot that
-``query --snapshot`` warm-starts from; ``gds`` prints the annotated,
+``query --snapshot`` warm-starts from; ``serve`` exposes the same
+pipeline over HTTP (:mod:`repro.service`); ``gds`` prints the annotated,
 θ-pruned G_DS (Figure 2/12); ``analyze`` runs the Section-7
 optimal-family analysis (nesting/stability across l).
 
@@ -42,6 +44,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.analysis import nesting_profile, optimal_family, stability_profile
@@ -109,9 +113,56 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.snapshot is not None:
         stats = session.cache_stats()
         print(
-            f"[snapshot] disk hits: {stats['disk_hits']}, "
-            f"disk misses: {stats['disk_misses']}"
+            f"[snapshot] disk hits: {stats.disk_hits}, "
+            f"disk misses: {stats.disk_misses}"
         )
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP front end over the shared loader's Session.
+
+    The dataset (and optional snapshot) resolve through the exact same
+    :func:`_load_session` path as ``query`` — no serve-only dataset-flag
+    drift — then get registered as one :class:`~repro.service.Deployment`
+    entry named after the database.  ``--workers``/``--unordered`` become
+    the Session's default :class:`ParallelConfig`, so every served query
+    fans out accordingly unless its request overrides them.
+    """
+    from repro.service import Deployment, create_server
+
+    session = _load_session(args)
+    session.parallel = ParallelConfig(
+        workers=args.workers, ordered=not args.unordered
+    ).normalized()
+    deployment = Deployment().add_session(args.database, session)
+    try:
+        server = create_server(
+            deployment, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except OSError as exc:
+        # busy port, privileged port, unresolvable host: a usage error
+        # (exit 2), not a bare traceback — and never exit 1, which the
+        # pinned contract reserves for "ran but found nothing"
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    banner = f"serving {args.database} on {server.url}"
+    print(banner, flush=True)
+    if args.ready_file is not None:
+        # smoke-test hook: the bound (possibly ephemeral) URL, readable by
+        # the process that launched us
+        args.ready_file.write_text(server.url + "\n", encoding="utf-8")
+    try:
+        if args.serve_seconds is not None:
+            shutdown = threading.Timer(args.serve_seconds, server.shutdown)
+            shutdown.daemon = True
+            shutdown.start()
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # a clean operator stop, not an error
+    finally:
+        server.server_close()
+        deployment.close()
     return EXIT_OK
 
 
@@ -277,6 +328,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="replace an existing snapshot at --out",
     )
     precompute.set_defaults(func=_cmd_precompute)
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[dataset_parent],
+        help="serve size-l OS queries over HTTP (see README: Serving over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="default per-query fan-out of the served Session (1 = serial)",
+    )
+    serve.add_argument(
+        "--unordered",
+        action="store_true",
+        help="with --workers > 1, served queries default to completion order",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="DIR",
+        help="warm-start the served dataset from a precomputed snapshot "
+        "(also enables /v1/admin/reload hot swaps)",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip per-file checksum verification of --snapshot",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="shut down cleanly after S seconds (smoke tests; default: forever)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the bound URL to PATH once listening (smoke tests)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     gds = sub.add_parser(
         "gds", parents=[dataset_parent], help="print an annotated G_DS"

@@ -71,7 +71,7 @@ from repro.core.analysis import (
     optimal_family,
     stability_profile,
 )
-from repro.core.cache import SummaryCache
+from repro.core.cache import CacheStats, SummaryCache
 from repro.core.export import result_to_dict, result_to_json, summary_to_dict
 
 __all__ = [
@@ -117,6 +117,7 @@ __all__ = [
     "nesting_profile",
     "stability_profile",
     "SummaryCache",
+    "CacheStats",
     "summary_to_dict",
     "result_to_dict",
     "result_to_json",

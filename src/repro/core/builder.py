@@ -77,6 +77,12 @@ class EngineBuilder:
         self._theta: float = 0.7
         self._data_graph: DataGraph | None = None
         self._snapshot: "Snapshot | None" = None
+        #: session-level presets (see with_defaults / with_parallel /
+        #: with_cache_size) so a Deployment entry can be described fully
+        #: by one configured builder
+        self._defaults: QueryOptions | None = None
+        self._parallel: ParallelConfig | None = None
+        self._cache_size: int = 64
 
     # ------------------------------------------------------------------ #
     # Fluent configuration
@@ -120,6 +126,23 @@ class EngineBuilder:
         if not isinstance(snapshot, Snapshot):
             snapshot = Snapshot.open(snapshot, verify=verify)
         self._snapshot = snapshot
+        return self
+
+    def with_defaults(self, defaults: QueryOptions) -> "EngineBuilder":
+        """Seed every query of a built Session with these options."""
+        self._defaults = defaults.normalized()
+        return self
+
+    def with_parallel(self, parallel: ParallelConfig) -> "EngineBuilder":
+        """Seed a built Session's fan-out policy."""
+        self._parallel = parallel.normalized()
+        return self
+
+    def with_cache_size(self, cache_size: int) -> "EngineBuilder":
+        """Bound a built Session's SummaryCache (subjects, LRU)."""
+        if cache_size < 1:
+            raise SummaryError(f"cache_size must be >= 1, got {cache_size}")
+        self._cache_size = cache_size
         return self
 
     # ------------------------------------------------------------------ #
@@ -223,24 +246,26 @@ class EngineBuilder:
     def build_session(
         self,
         *,
-        cache_size: int = 64,
+        cache_size: int | None = None,
         defaults: QueryOptions | None = None,
         parallel: ParallelConfig | None = None,
     ) -> "Any":
         """Build the engine wrapped in a :class:`~repro.session.Session`.
 
-        An attached snapshot carries through: the Session's cache serves
-        precomputed complete OSs from the snapshot's tree arena.  The
-        snapshot is validated once in :meth:`build` and once more when the
-        cache attaches — deliberate: re-validation costs ~0.2 ms (table
-        content hashes are cached) and skipping it would re-open the
-        stale-attach hole a memoised validation had."""
+        Explicit kwargs override the builder's ``with_defaults`` /
+        ``with_parallel`` / ``with_cache_size`` presets.  An attached
+        snapshot carries through: the Session's cache serves precomputed
+        complete OSs from the snapshot's tree arena.  The snapshot is
+        validated once in :meth:`build` and once more when the cache
+        attaches — deliberate: re-validation costs ~0.2 ms (table content
+        hashes are cached) and skipping it would re-open the stale-attach
+        hole a memoised validation had."""
         from repro.session import Session
 
         return Session(
             self.build(),
-            cache_size=cache_size,
-            defaults=defaults,
-            parallel=parallel,
+            cache_size=self._cache_size if cache_size is None else cache_size,
+            defaults=defaults if defaults is not None else self._defaults,
+            parallel=parallel if parallel is not None else self._parallel,
             snapshot=self._snapshot,
         )

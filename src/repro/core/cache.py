@@ -50,11 +50,12 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.core.engine import SizeLEngine
 from repro.core.options import Algorithm, Backend, QueryOptions, ResultStats, Source
@@ -70,6 +71,101 @@ ResultKey = tuple[int, str, str, str, "int | None", bool]
 
 #: Subject key: (R_DS table, row id).
 SubjectKey = tuple[str, int]
+
+
+@dataclass(frozen=True, eq=False)  # eq: hand-written below (dict-comparable)
+class CacheStats:
+    """One atomic reading of a :class:`SummaryCache`'s counters.
+
+    Replaces the stringly-typed ``dict[str, int]`` that ``stats()`` used
+    to return — ``/v1/stats`` and the serving benchmarks now read typed
+    attributes.  The mapping dunders keep old ``stats["disk_hits"]`` call
+    sites working (with a :class:`DeprecationWarning`); :meth:`as_dict`
+    is the supported conversion for JSON payloads.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    cached_subjects: int = 0
+    cached_results: int = 0
+    tree_generations: int = 0
+    result_computations: int = 0
+    single_flight_waits: int = 0
+    lock_contention: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    snapshot_stale: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Every ``run()``/tree request that hit the cache's front door."""
+        return self.hits + self.misses + self.single_flight_waits
+
+    @property
+    def hit_rate(self) -> float:
+        """Served-without-computing fraction (waiters ride a leader's work)."""
+        return (self.hits + self.single_flight_waits) / max(1, self.requests)
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (JSON payloads, comparisons)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    # ------------------------------------------------------------------ #
+    # Deprecated mapping compatibility (the pre-typed stats() dict)
+    # ------------------------------------------------------------------ #
+    def _warn_mapping(self, hint: str) -> None:
+        warnings.warn(
+            "treating cache stats as a dict is deprecated; read the typed "
+            f"attributes ({hint}) or use stats.as_dict()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> int:
+        self._warn_mapping(f"stats.{key}")
+        try:
+            return self.as_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._warn_mapping(f"stats.{key}")
+        return self.as_dict().get(key, default)
+
+    def keys(self) -> list[str]:
+        self._warn_mapping("stats.<counter>")
+        return list(self.as_dict())
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        self._warn_mapping("stats.<counter>")
+        return iter(self.as_dict().items())
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn_mapping("stats.<counter>")
+        return iter(self.as_dict())
+
+    def __contains__(self, key: object) -> bool:
+        self._warn_mapping(f"stats.{key}")
+        return key in self.as_dict()
+
+    def __len__(self) -> int:
+        return len(dataclasses.fields(self))
+
+    def __eq__(self, other: object) -> bool:
+        # dict-comparable (silently — equality is not a migration hazard)
+        # so pre-typed assertions like describe()["cache"] ==
+        # cache_stats() keep holding
+        if isinstance(other, CacheStats):
+            return self.as_dict() == other.as_dict()
+        if isinstance(other, dict):
+            return self.as_dict() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # defining __eq__ would otherwise null __hash__; a frozen value
+        # record should stay usable as a dict key / set member
+        return hash(tuple(self.as_dict().values()))
 
 
 @dataclass
@@ -566,19 +662,24 @@ class SummaryCache:
         with self._acquire():
             return sum(len(entry.results) for entry in self._book.values())
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> CacheStats:
+        """One consistent :class:`CacheStats` reading of every counter.
+
+        (Returned a plain dict before the service layer; the typed record
+        keeps the old mapping interface behind a DeprecationWarning.)
+        """
         with self._acquire():  # RLock: the properties re-enter safely
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "cached_subjects": self.cached_subjects,
-                "cached_results": self.cached_results,
-                "tree_generations": self.tree_generations,
-                "result_computations": self.result_computations,
-                "single_flight_waits": self.single_flight_waits,
-                "lock_contention": self.lock_contention,
-                "evictions": self.evictions,
-                "disk_hits": self.disk_hits,
-                "disk_misses": self.disk_misses,
-                "snapshot_stale": self.snapshot_stale,
-            }
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                cached_subjects=self.cached_subjects,
+                cached_results=self.cached_results,
+                tree_generations=self.tree_generations,
+                result_computations=self.result_computations,
+                single_flight_waits=self.single_flight_waits,
+                lock_contention=self.lock_contention,
+                evictions=self.evictions,
+                disk_hits=self.disk_hits,
+                disk_misses=self.disk_misses,
+                snapshot_stale=self.snapshot_stale,
+            )

@@ -131,6 +131,10 @@ class ParallelConfig:
     def replace(self, **changes: Any) -> "ParallelConfig":
         return dataclasses.replace(self, **changes)
 
+    def as_dict(self) -> dict[str, Any]:
+        """The wire-level shape (see :mod:`repro.service.protocol`)."""
+        return {"workers": self.workers, "ordered": self.ordered}
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -246,6 +250,25 @@ class QueryOptions:
     def backend_name(self) -> str:
         value = self.backend
         return value.value if isinstance(value, Backend) else str(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The wire-level shape: plain JSON types, canonical string names.
+
+        The service codec (:mod:`repro.service.protocol`) round-trips this
+        through :func:`~repro.service.protocol.decode_options`; enums
+        flatten to their registry names, ``parallel`` to its own dict.
+        """
+        return {
+            "l": self.l,
+            "algorithm": self.algorithm_name,
+            "source": self.source_name,
+            "backend": self.backend_name,
+            "max_results": self.max_results,
+            "depth_limit": self.depth_limit,
+            "flat": self.flat,
+            "snapshot": self.snapshot,
+            "parallel": None if self.parallel is None else self.parallel.as_dict(),
+        }
 
     def cache_key(self) -> tuple[int, str, str, str, int | None, bool]:
         """The memoisation key of a size-l result under these options."""

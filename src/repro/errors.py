@@ -105,3 +105,23 @@ class SnapshotMismatchError(PersistError):
     """Raised when a structurally valid snapshot does not belong to the
     attaching engine (dataset/schema fingerprint or importance-store digest
     differs) — serving from it could silently return wrong trees."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid service-layer operations (see :mod:`repro.service`)."""
+
+
+class RequestValidationError(ServiceError):
+    """Raised when a wire-level request fails strict validation (unknown or
+    missing fields, bad types, undecodable cursors).  The HTTP front end
+    maps this to status 400; the message always names the offending field."""
+
+
+class UnknownDatasetError(ServiceError):
+    """Raised when a request names a dataset the :class:`~repro.service.Deployment`
+    does not host.  The HTTP front end maps this to status 404."""
+
+    def __init__(self, name: str, available: "list[str] | None" = None) -> None:
+        hint = f"; hosted datasets: {sorted(available)}" if available else ""
+        super().__init__(f"unknown dataset {name!r}{hint}")
+        self.name = name

@@ -1,0 +1,67 @@
+"""The service layer: a transport-agnostic surface over the library.
+
+PRs 1–4 built a fast, concurrent, snapshot-backed *in-process* engine whose
+only entry point was a Python :class:`~repro.session.Session` bound to one
+dataset.  This package turns that into a *service*:
+
+* :mod:`repro.service.protocol` — versioned, typed request/response DTOs
+  (:class:`QueryRequest`, :class:`SizeLRequest`, :class:`BatchRequest`,
+  :class:`QueryResponse`, ...) with pure-dict/JSON codecs, strict
+  validation (:class:`~repro.errors.RequestValidationError`), and stable
+  ``(rank, table, row_id)`` pagination cursors;
+* :mod:`repro.service.deployment` — a :class:`Deployment` registry hosting
+  many named datasets (each a lazily built Session + optional snapshot) in
+  one process, with independent invalidation and hot snapshot reload;
+* :mod:`repro.service.dispatch` — the transport-agnostic request
+  dispatcher the HTTP front end, the CLI, and the benchmarks share;
+* :mod:`repro.service.asession` — :class:`AsyncSession`, asyncio wrappers
+  over the Session's thread-pool fan-out (``await`` / ``async for``);
+* :mod:`repro.service.http` — a stdlib-only ``ThreadingHTTPServer`` front
+  end (``repro serve``) exposing ``/v1/query``, ``/v1/size-l``,
+  ``/v1/batch``, ``/v1/datasets``, ``/v1/stats``, and
+  ``/v1/admin/invalidate|reload`` with pinned JSON error bodies.
+
+Every future scaling PR (sharding, replicas, rate limiting) plugs into
+this layer rather than into Session internals.
+"""
+
+from repro.service.asession import AsyncSession
+from repro.service.deployment import Deployment
+from repro.service.dispatch import ServiceDispatcher
+from repro.service.http import create_server, serve
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BatchRequest,
+    BatchResponse,
+    Cursor,
+    QueryRequest,
+    QueryResponse,
+    ResultEntry,
+    SizeLRequest,
+    SizeLResponse,
+    decode_options,
+    decode_request,
+    encode_error,
+    encode_response,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AsyncSession",
+    "BatchRequest",
+    "BatchResponse",
+    "Cursor",
+    "Deployment",
+    "QueryRequest",
+    "QueryResponse",
+    "ResultEntry",
+    "ServiceDispatcher",
+    "SizeLRequest",
+    "SizeLResponse",
+    "create_server",
+    "decode_options",
+    "decode_request",
+    "encode_error",
+    "encode_response",
+    "serve",
+]

@@ -1,0 +1,142 @@
+"""AsyncSession — asyncio adapters over the Session's thread fan-out.
+
+The :class:`~repro.session.Session` serving layer is thread-based (PR 3:
+windowed thread-pool fan-out funnelled through the single-flight cache).
+:class:`AsyncSession` puts an asyncio face on it without re-implementing
+anything: batch calls hop onto the event loop's default executor, and the
+streaming generator is bridged through an :class:`asyncio.Queue`, one
+item per computed OS — so ``async for`` consumers see results exactly as
+incrementally as threaded consumers do, while the event loop stays free.
+
+Quickstart::
+
+    import asyncio
+    from repro import Session
+    from repro.service import AsyncSession
+
+    async def main():
+        asession = AsyncSession(Session.from_named("dblp", scale=0.5))
+        async for entry in asession.iter_keyword_query("Faloutsos", l=8):
+            print(entry.result.render())
+        results = await asession.keyword_query("Faloutsos", l=8)
+        await asession.close()
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import Any, AsyncIterator, Iterable
+
+from repro.core.engine import KeywordResult
+from repro.core.os_tree import SizeLResult
+from repro.session import Session
+
+#: queue sentinel: the producer thread finished (payload = its error or None)
+_DONE = object()
+
+
+class AsyncSession:
+    """An awaitable facade over one :class:`Session`.
+
+    All methods accept the Session's signatures (``options=``, ``l=``,
+    ``workers=``...).  The wrapped Session stays fully usable directly —
+    an HTTP thread and an asyncio task can share one instance; every code
+    path lands in the same thread-safe cache.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    # ------------------------------------------------------------------ #
+    # Awaitable batch calls
+    # ------------------------------------------------------------------ #
+    async def _call(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(fn, *args, **kwargs)
+        )
+
+    async def size_l(self, rds_table: str, row_id: int, *args: Any, **kwargs: Any) -> SizeLResult:
+        return await self._call(self.session.size_l, rds_table, row_id, *args, **kwargs)
+
+    async def size_l_many(
+        self, subjects: Iterable[tuple[str, int]], *args: Any, **kwargs: Any
+    ) -> list[SizeLResult]:
+        return await self._call(
+            self.session.size_l_many, list(subjects), *args, **kwargs
+        )
+
+    async def keyword_query(
+        self, keywords: list[str] | str, *args: Any, **kwargs: Any
+    ) -> list[KeywordResult]:
+        return await self._call(self.session.keyword_query, keywords, *args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    async def iter_keyword_query(
+        self, keywords: list[str] | str, *args: Any, **kwargs: Any
+    ) -> AsyncIterator[KeywordResult]:
+        """``async for`` over a streamed keyword query.
+
+        The Session's (possibly parallel) generator runs on a worker
+        thread and hands each :class:`KeywordResult` to the event loop as
+        soon as its size-l OS is computed.  Abandoning the async iterator
+        stops the producer at its next item (which also cancels the
+        fan-out's unstarted work, per the Session's windowed contract).
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        abandoned = threading.Event()
+
+        def produce() -> None:
+            error: BaseException | None = None
+            try:
+                for item in self.session.iter_keyword_query(keywords, *args, **kwargs):
+                    if abandoned.is_set():
+                        return  # closes the generator -> cancels unstarted work
+                    loop.call_soon_threadsafe(queue.put_nowait, (item, None))
+            except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+                error = exc
+            finally:
+                if not abandoned.is_set():
+                    loop.call_soon_threadsafe(queue.put_nowait, (_DONE, error))
+
+        producer = loop.run_in_executor(None, produce)
+        try:
+            while True:
+                item, error = await queue.get()
+                if item is _DONE:
+                    if error is not None:
+                        raise error
+                    break
+                yield item
+        finally:
+            abandoned.set()
+            await producer
+
+    # ------------------------------------------------------------------ #
+    # Pass-throughs and lifecycle
+    # ------------------------------------------------------------------ #
+    async def invalidate(
+        self, rds_table: str | None = None, row_id: int | None = None
+    ) -> None:
+        await self._call(self.session.invalidate, rds_table, row_id)
+
+    def cache_stats(self) -> Any:
+        """Non-blocking: one lock-protected counter read."""
+        return self.session.cache_stats()
+
+    async def close(self) -> None:
+        """Drain and shut the wrapped Session's pool (idempotent)."""
+        await self._call(self.session.close)
+
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

@@ -1,0 +1,307 @@
+"""The transport-agnostic request dispatcher.
+
+One :class:`ServiceDispatcher` sits between a :class:`~repro.service.Deployment`
+and any transport.  It has two layers:
+
+* a **typed** layer (:meth:`query`, :meth:`size_l`, :meth:`batch`, ...) —
+  typed request in, typed response out; this is what in-process callers
+  and tests use;
+* a **dict** layer (:meth:`dispatch` / :meth:`dispatch_safe`) — endpoint
+  name + JSON-shaped dict in, JSON-shaped dict out, with the library's
+  typed errors mapped onto the pinned status codes.  The HTTP front end
+  and the codec-overhead benchmark both speak this layer, so measured
+  dispatch overhead is exactly what a served request pays minus the
+  socket.
+
+Pinned status mapping (also carried inside the error body):
+
+======  =================================================================
+status  errors
+======  =================================================================
+400     :class:`~repro.errors.RequestValidationError` and every other
+        :class:`~repro.errors.ReproError` a request provokes (bad
+        options, unknown tables, ...)
+404     :class:`~repro.errors.UnknownDatasetError`, unknown endpoints
+409     :class:`~repro.errors.PersistError` (mismatch/corruption) on
+        ``/v1/admin/reload`` only — the deployment keeps serving its
+        previous state
+500     anything else, including a :class:`PersistError` outside reload
+        (e.g. a corrupt snapshot path hit by a lazy first build) — a
+        server-side problem, not a client error
+======  =================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.options import QueryOptions
+from repro.errors import (
+    PersistError,
+    ReproError,
+    RequestValidationError,
+    UnknownDatasetError,
+)
+from repro.service.deployment import Deployment
+from repro.service.protocol import (
+    BatchRequest,
+    BatchResponse,
+    Cursor,
+    QueryRequest,
+    QueryResponse,
+    SizeLRequest,
+    SizeLResponse,
+    decode_batch_request,
+    decode_query_request,
+    decode_size_l_request,
+    encode_error,
+    encode_response,
+    result_entry,
+)
+
+#: The service's endpoint table (paths as the HTTP front end mounts them).
+ENDPOINTS = (
+    "/v1/query",
+    "/v1/size-l",
+    "/v1/batch",
+    "/v1/datasets",
+    "/v1/stats",
+    "/v1/admin/invalidate",
+    "/v1/admin/reload",
+)
+
+
+def status_for(exc: BaseException, endpoint: str | None = None) -> int:
+    """The pinned HTTP status of a dispatch failure on *endpoint*."""
+    if isinstance(exc, UnknownDatasetError):
+        return 404
+    if isinstance(exc, PersistError):
+        # 409 is the reload contract ("replacement rejected, still
+        # serving"); a persist failure anywhere else is the server's
+        # problem (broken snapshot config), not the client's
+        return 409 if endpoint == "/v1/admin/reload" else 500
+    if isinstance(exc, (RequestValidationError, ReproError)):
+        return 400
+    return 500
+
+
+class ServiceDispatcher:
+    """Typed + dict request handling over one :class:`Deployment`."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+
+    # ------------------------------------------------------------------ #
+    # Typed layer
+    # ------------------------------------------------------------------ #
+    def _cache_counters(self, session: Any) -> dict[str, int]:
+        return session.cache.stats().as_dict()
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """One page of a keyword query (the whole query without a cursor).
+
+        The ranked match list is recomputed (keyword search is the cheap
+        half of the pipeline); the expensive size-l OSs are computed only
+        for this page.  A cursor resumes *after* its ``(rank, table,
+        row_id)`` — and is first verified against the current ranking, so
+        a dataset change between pages surfaces as a 400 instead of
+        silently skipped or repeated results.
+        """
+        session = self.deployment.session(request.dataset)
+        keywords = list(request.keywords)
+        options = request.options
+        matches = session.engine.search_matches(keywords, options)
+        start = 0
+        if request.cursor is not None:
+            cursor = request.cursor
+            stable = cursor.rank < len(matches) and (
+                matches[cursor.rank].table == cursor.table
+                and matches[cursor.rank].row_id == cursor.row_id
+            )
+            if not stable:
+                raise RequestValidationError(
+                    f"stale cursor: rank {cursor.rank} is no longer "
+                    f"{cursor.table}#{cursor.row_id} in the current ranking; "
+                    "restart the query without a cursor"
+                )
+            start = cursor.rank + 1
+        page = matches[start:]
+        if request.page_size is not None:
+            page = page[: request.page_size]
+        results = session.size_l_many(
+            [(match.table, match.row_id) for match in page], options=options
+        )
+        entries = tuple(
+            result_entry(start + i, match.table, match.row_id, match.importance, result)
+            for i, (match, result) in enumerate(zip(page, results))
+        )
+        next_cursor = None
+        if page and start + len(page) < len(matches):
+            last = page[-1]
+            next_cursor = Cursor(
+                rank=start + len(page) - 1, table=last.table, row_id=last.row_id
+            )
+        return QueryResponse(
+            dataset=request.dataset,
+            keywords=tuple(keywords),
+            results=entries,
+            total_matches=len(matches),
+            next_cursor=next_cursor,
+            cache=self._cache_counters(session),
+        )
+
+    def size_l(self, request: SizeLRequest) -> SizeLResponse:
+        session = self.deployment.session(request.dataset)
+        result = session.size_l(request.table, request.row_id, options=request.options)
+        importance = session.engine.store.importance(request.table, request.row_id)
+        return SizeLResponse(
+            dataset=request.dataset,
+            result=result_entry(0, request.table, request.row_id, importance, result),
+            cache=self._cache_counters(session),
+        )
+
+    def batch(self, request: BatchRequest) -> BatchResponse:
+        session = self.deployment.session(request.dataset)
+        results = session.size_l_many(list(request.subjects), options=request.options)
+        store = session.engine.store
+        entries = tuple(
+            result_entry(i, table, row_id, store.importance(table, row_id), result)
+            for i, ((table, row_id), result) in enumerate(
+                zip(request.subjects, results)
+            )
+        )
+        return BatchResponse(
+            dataset=request.dataset,
+            results=entries,
+            cache=self._cache_counters(session),
+        )
+
+    def datasets(self) -> dict[str, Any]:
+        return {"datasets": self.deployment.describe()}
+
+    def stats(self, dataset: str | None = None) -> dict[str, Any]:
+        """Serving statistics: one dataset (built on demand) or all.
+
+        The aggregate form is **non-building** — a monitoring probe on a
+        freshly booted multi-dataset server must not synthesize every
+        hosted dataset; unbuilt entries report their registry metadata
+        (``built: false``) instead.  Naming a dataset explicitly is the
+        opt-in to building it.
+        """
+        if dataset is not None:
+            return self.deployment.stats(dataset)
+        return {
+            name: (
+                self.deployment.stats(name)
+                if self.deployment.describe(name)["built"]
+                else self.deployment.describe(name)
+            )
+            for name in self.deployment.names()
+        }
+
+    def invalidate(
+        self,
+        dataset: str,
+        rds_table: str | None = None,
+        row_id: int | None = None,
+    ) -> dict[str, Any]:
+        try:
+            self.deployment.invalidate(dataset, rds_table, row_id)
+        except ValueError as exc:  # row_id without table — a client error
+            raise RequestValidationError(str(exc)) from exc
+        return {
+            "dataset": dataset,
+            "invalidated": {"table": rds_table, "row_id": row_id},
+        }
+
+    def reload(self, dataset: str) -> dict[str, Any]:
+        return self.deployment.reload(dataset)
+
+    # ------------------------------------------------------------------ #
+    # Dict layer
+    # ------------------------------------------------------------------ #
+    def _session_defaults(self, payload: object) -> QueryOptions | None:
+        """The target dataset's default options seed the request decode.
+
+        A wire request that omits ``options.l`` must mean "this dataset's
+        default l", not the library's stock default — the same resolution
+        order every in-process Session call gets.
+        """
+        if isinstance(payload, dict):
+            dataset = payload.get("dataset")
+            if isinstance(dataset, str) and dataset in self.deployment:
+                return self.deployment.session(dataset).defaults
+        return None
+
+    def dispatch(self, endpoint: str, payload: object = None) -> dict[str, Any]:
+        """Handle one request by endpoint path; raises on failure.
+
+        (:meth:`dispatch_safe` is the catching variant transports use.)
+        """
+        if endpoint == "/v1/query":
+            request = decode_query_request(
+                payload, defaults=self._session_defaults(payload)
+            )
+            return encode_response(self.query(request))
+        if endpoint == "/v1/size-l":
+            request = decode_size_l_request(
+                payload, defaults=self._session_defaults(payload)
+            )
+            return encode_response(self.size_l(request))
+        if endpoint == "/v1/batch":
+            request = decode_batch_request(
+                payload, defaults=self._session_defaults(payload)
+            )
+            return encode_response(self.batch(request))
+        if endpoint == "/v1/datasets":
+            return self.datasets()
+        if endpoint == "/v1/stats":
+            dataset = None
+            if payload is not None and isinstance(payload, dict):
+                dataset = payload.get("dataset")
+            return self.stats(dataset)
+        if endpoint == "/v1/admin/invalidate":
+            if not isinstance(payload, dict) or "dataset" not in payload:
+                raise RequestValidationError(
+                    "invalidate requires a JSON object with a 'dataset' field"
+                )
+            unknown = set(payload) - {"dataset", "table", "row_id"}
+            if unknown:
+                raise RequestValidationError(
+                    f"unknown field(s) {sorted(unknown)} in invalidate request"
+                )
+            return self.invalidate(
+                payload["dataset"], payload.get("table"), payload.get("row_id")
+            )
+        if endpoint == "/v1/admin/reload":
+            if not isinstance(payload, dict) or "dataset" not in payload:
+                raise RequestValidationError(
+                    "reload requires a JSON object with a 'dataset' field"
+                )
+            return self.reload(payload["dataset"])
+        raise UnknownEndpointError(endpoint)
+
+    def dispatch_safe(
+        self, endpoint: str, payload: object = None
+    ) -> tuple[int, dict[str, Any]]:
+        """:meth:`dispatch` with the error contract applied: always returns
+        ``(status, body)`` — the pinned error body on failure — and never
+        raises, so one bad request (or one bad reload) can never take the
+        serving loop down."""
+        try:
+            return 200, self.dispatch(endpoint, payload)
+        except UnknownEndpointError as exc:
+            return 404, encode_error(exc, 404)
+        except Exception as exc:  # noqa: BLE001 - the contract: errors become bodies
+            status = status_for(exc, endpoint)
+            return status, encode_error(exc, status)
+
+
+class UnknownEndpointError(ReproError):
+    """Raised when a request names a path outside :data:`ENDPOINTS`."""
+
+    def __init__(self, endpoint: str) -> None:
+        super().__init__(
+            f"unknown endpoint {endpoint!r}; available: {list(ENDPOINTS)}"
+        )
+        self.endpoint = endpoint

@@ -1,0 +1,205 @@
+"""The stdlib-only HTTP front end (``repro serve``).
+
+A ``ThreadingHTTPServer`` (one thread per connection — the per-request
+work then fans out over each Session's own pool) serving the
+:class:`~repro.service.dispatch.ServiceDispatcher` endpoint table:
+
+=========================  ======  =====================================
+path                       method  body
+=========================  ======  =====================================
+``/v1/query``              POST    query request (keywords, options,
+                                   cursor, page_size)
+``/v1/size-l``             POST    size-l request (table, row_id, options)
+``/v1/batch``              POST    batch request (subjects, options)
+``/v1/datasets``           GET     —
+``/v1/stats``              GET     optional ``?dataset=name``
+``/v1/admin/invalidate``   POST    ``{dataset, table?, row_id?}``
+``/v1/admin/reload``       POST    ``{dataset}``
+=========================  ======  =====================================
+
+Every response is JSON.  Failures use the pinned error body
+(:func:`~repro.service.protocol.encode_error`) and status codes
+(:func:`~repro.service.dispatch.status_for`): 400 validation, 404 unknown
+dataset/endpoint, 405 wrong method, 409 rejected snapshot reload, 500
+bugs.  A failed request — including a mismatched ``/v1/admin/reload`` —
+never takes the server down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.deployment import Deployment
+from repro.service.dispatch import ServiceDispatcher
+from repro.service.protocol import encode_error
+from repro.errors import RequestValidationError, ServiceError
+
+#: Request bodies above this are rejected up front (64 MiB — far above any
+#: legitimate batch, small enough to keep a stray client from ballooning RSS).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_GET_ENDPOINTS = ("/v1/datasets", "/v1/stats")
+_POST_ENDPOINTS = (
+    "/v1/query",
+    "/v1/size-l",
+    "/v1/batch",
+    "/v1/admin/invalidate",
+    "/v1/admin/reload",
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the dispatcher; owns no state of its own."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; the serving loop is not a place for per-request prints
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> object:
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise RequestValidationError(
+                f"invalid Content-Length header {raw_length!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            # negative lengths matter: rfile.read(-1) would block on the
+            # open socket until client EOF, pinning this handler thread
+            raise RequestValidationError(
+                f"Content-Length {length} outside [0, {MAX_BODY_BYTES}]"
+            )
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RequestValidationError(f"request body is not valid JSON: {exc}") from exc
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        split = urlsplit(self.path)
+        if split.path in _POST_ENDPOINTS:
+            self._method_not_allowed("POST")
+            return
+        payload: dict[str, Any] | None = None
+        query = parse_qs(split.query)
+        if "dataset" in query:
+            payload = {"dataset": query["dataset"][0]}
+        # unknown paths flow through dispatch_safe too, so the 404 body
+        # carries the same UnknownEndpointError type every transport uses
+        status, body = self.server.dispatcher.dispatch_safe(split.path, payload)
+        self._send_json(status, body)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        split = urlsplit(self.path)
+        if split.path in _GET_ENDPOINTS:
+            self._method_not_allowed("GET")
+            return
+        try:
+            payload = self._read_body()
+        except RequestValidationError as exc:
+            self._send_json(400, encode_error(exc, 400))
+            return
+        status, body = self.server.dispatcher.dispatch_safe(split.path, payload)
+        self._send_json(status, body)
+
+    def _method_not_allowed(self, allowed: str) -> None:
+        body = encode_error(
+            ServiceError(
+                f"method {self.command} not allowed on {self.path}; use {allowed}"
+            ),
+            405,
+        )
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(405)
+        self.send_header("Allow", allowed)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one dispatcher."""
+
+    daemon_threads = True  # a hung client connection must not block shutdown
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        dispatcher: ServiceDispatcher,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.dispatcher = dispatcher
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when constructed with port 0)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def create_server(
+    deployment: Deployment,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) a server over *deployment*.
+
+    ``port=0`` binds an ephemeral port — read it back via ``server.port``.
+    Run with ``server.serve_forever()`` (blocking) or wrap in a thread::
+
+        server = create_server(deployment, port=8077)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown()
+    """
+    return ServiceHTTPServer((host, port), ServiceDispatcher(deployment), verbose=verbose)
+
+
+def serve(
+    deployment: Deployment,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    verbose: bool = False,
+    ready: "threading.Event | None" = None,
+) -> None:
+    """Blocking convenience: bind and serve until interrupted.
+
+    ``ready`` (if given) is set once the socket is bound — the hook
+    in-process callers use to know the ephemeral port is readable.
+    """
+    server = create_server(deployment, host=host, port=port, verbose=verbose)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

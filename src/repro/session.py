@@ -35,7 +35,7 @@ import threading
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any, Iterable, Iterator
 
-from repro.core.cache import SummaryCache
+from repro.core.cache import CacheStats, SummaryCache
 from repro.core.engine import KeywordResult, SizeLEngine
 from repro.core.options import ParallelConfig, QueryOptions, resolve_options
 from repro.core.os_tree import ObjectSummary, SizeLResult
@@ -225,6 +225,14 @@ class Session:
         so no submission can ever target a just-retired pool (futures
         already submitted are unaffected — ``shutdown(wait=False)``
         drains them).
+
+        A fan-out racing a :meth:`close` **drains instead of raising**: if
+        the executor refuses the task (its shutdown flag was set between
+        our lock release and the submit — possible at interpreter exit,
+        where a fresh pool cannot be grown either), the call runs inline
+        on this thread and the returned future carries its outcome, so a
+        mid-stream ``iter_keyword_query`` consumer sees every result
+        rather than a ``RuntimeError``.
         """
         with self._pool_lock:
             if self._pool is None or self._pool_workers < workers:
@@ -235,20 +243,32 @@ class Session:
                 self._pool_workers = workers
                 if old is not None:
                     old.shutdown(wait=False)
-            return self._pool.submit(fn, *args)
+            try:
+                return self._pool.submit(fn, *args)
+            except RuntimeError:
+                pass  # executor shut down underneath us: degrade to inline
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - future carries the outcome
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
-        """Shut the Session's worker pool down (idempotent).
+        """Drain and shut the Session's worker pool down (idempotent).
 
-        Only needed for prompt thread teardown — pools are also reaped at
-        interpreter exit, and a closed Session grows a fresh pool on the
-        next parallel call.
+        Safe while requests are in flight: the pool is detached under the
+        lock, then drained *outside* it (``shutdown(wait=True)``), so
+        concurrent fan-outs are never blocked on the lock for the length
+        of the drain — they either finish on the detached pool's threads
+        or grow a fresh pool for their remaining tasks.  A second
+        ``close()`` finds no pool and is a no-op.  Only needed for prompt
+        thread teardown — pools are also reaped at interpreter exit.
         """
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
-                self._pool_workers = 0
+            pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "Session":
         return self
@@ -440,13 +460,14 @@ class Session:
     ) -> None:
         self.cache.invalidate(rds_table, row_id)
 
-    def cache_stats(self) -> dict[str, int]:
+    def cache_stats(self) -> CacheStats:
+        """A typed, atomic reading of the cache counters."""
         return self.cache.stats()
 
     def describe(self) -> dict[str, Any]:
-        """The engine snapshot plus cache statistics."""
+        """The engine snapshot plus cache statistics (JSON-shaped)."""
         info = self.engine.describe()
-        info["cache"] = self.cache.stats()
+        info["cache"] = self.cache.stats().as_dict()
         info["defaults"] = {
             "l": self.defaults.l,
             "algorithm": self.defaults.algorithm_name,

@@ -222,3 +222,119 @@ class TestPrecomputeCLI:
         )
         assert code == EXIT_ERROR
         assert "requires" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    """The serve subcommand: pinned flags, shared loader, exit codes."""
+
+    def test_serve_flags_pinned(self) -> None:
+        """serve shares the dataset parent parser (no flag drift) and the
+        query command's --workers/--unordered knobs."""
+        args = build_parser().parse_args(["serve"])
+        assert args.database == "dblp"  # the shared dataset parent
+        assert args.port == 8077
+        assert args.workers == 1
+        assert args.unordered is False
+        assert args.snapshot is None
+        args = build_parser().parse_args(
+            [
+                "serve", "--database", "tpch", "--port", "0",
+                "--workers", "4", "--unordered", "--snapshot", "s.d",
+            ]
+        )
+        assert (args.database, args.port, args.workers) == ("tpch", 0, 4)
+        assert args.unordered is True and args.snapshot == "s.d"
+
+    def test_serve_bad_snapshot_is_exit_two(self, tmp_path, capsys) -> None:
+        """The shared _load_session loader rejects before binding a port."""
+        code = main(
+            [
+                "--scale", "0.2",
+                "serve", "--port", "0",
+                "--snapshot", str(tmp_path / "missing.d"),
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "not a snapshot directory" in capsys.readouterr().err
+
+    def test_serve_mismatched_snapshot_is_exit_two(self, tmp_path, capsys) -> None:
+        snap = tmp_path / "snap.d"
+        assert (
+            main(
+                [
+                    "--scale", "0.2",
+                    "precompute", "--out", str(snap),
+                    "--table", "author", "--ids", "0",
+                ]
+            )
+            == EXIT_OK
+        )
+        capsys.readouterr()
+        code = main(
+            ["--scale", "0.2", "--seed", "99", "serve", "--port", "0",
+             "--snapshot", str(snap)]
+        )
+        assert code == EXIT_ERROR
+        assert "does not match" in capsys.readouterr().err
+
+    def test_serve_busy_port_is_exit_two(self, capsys) -> None:
+        """A bind failure is a usage error (2), never the no-results 1."""
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            port = blocker.getsockname()[1]
+            code = main(["--scale", "0.2", "serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == EXIT_ERROR
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_serve_answers_queries_and_exits_zero(self, tmp_path, capsys) -> None:
+        """Boot on an ephemeral port, query over HTTP, exit 0 on shutdown."""
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        ready = tmp_path / "ready.txt"
+        codes: list[int] = []
+
+        def run_serve() -> None:
+            codes.append(
+                main(
+                    [
+                        "--scale", "0.2",
+                        "serve", "--port", "0", "--workers", "2",
+                        "--serve-seconds", "2",
+                        "--ready-file", str(ready),
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run_serve)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 15
+            while not ready.is_file() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            url = ready.read_text(encoding="utf-8").strip()
+            request = urllib.request.Request(
+                url + "/v1/query",
+                data=json.dumps(
+                    {"dataset": "dblp", "keywords": ["Faloutsos"], "options": {"l": 5}}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.loads(response.read().decode("utf-8"))
+            assert response.status == 200
+            assert body["total_matches"] == 3
+            assert len(body["results"][0]["selected_uids"]) == 5
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [EXIT_OK]
+        capsys.readouterr()

@@ -1,0 +1,171 @@
+"""Tests for AsyncSession — the asyncio adapter over the Session fan-out."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.options import QueryOptions
+from repro.errors import SummaryError
+from repro.service import AsyncSession
+from repro.session import Session
+
+
+@pytest.fixture()
+def session(dblp_engine) -> Session:
+    return Session(dblp_engine)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAwaitables:
+    def test_size_l_matches_sync(self, session) -> None:
+        async def main():
+            return await AsyncSession(session).size_l("author", 1, 8)
+
+        result = run(main())
+        expected = session.size_l("author", 1, 8)
+        assert result.selected_uids == expected.selected_uids
+
+    def test_keyword_query_matches_sync(self, session) -> None:
+        options = QueryOptions(l=6)
+
+        async def main():
+            return await AsyncSession(session).keyword_query(
+                "Faloutsos", options=options
+            )
+
+        results = run(main())
+        expected = session.keyword_query("Faloutsos", options=options)
+        assert [e.match.row_id for e in results] == [
+            e.match.row_id for e in expected
+        ]
+        assert [e.result.selected_uids for e in results] == [
+            e.result.selected_uids for e in expected
+        ]
+
+    def test_size_l_many_preserves_order(self, session) -> None:
+        subjects = [("author", 2), ("author", 0), ("author", 1)]
+
+        async def main():
+            return await AsyncSession(session).size_l_many(
+                subjects, 5, workers=3
+            )
+
+        results = run(main())
+        expected = [session.size_l(t, r, 5) for t, r in subjects]
+        assert [r.selected_uids for r in results] == [
+            e.selected_uids for e in expected
+        ]
+
+    def test_errors_propagate(self, session) -> None:
+        async def main():
+            await AsyncSession(session).size_l("author", 1, 0)
+
+        with pytest.raises(SummaryError):
+            run(main())
+
+
+class TestStreaming:
+    def test_async_for_streams_all_results(self, session) -> None:
+        options = QueryOptions(l=6)
+
+        async def main():
+            collected = []
+            async for entry in AsyncSession(session).iter_keyword_query(
+                "Faloutsos", options=options
+            ):
+                collected.append(entry)
+            return collected
+
+        results = run(main())
+        expected = session.keyword_query("Faloutsos", options=options)
+        assert [e.match.row_id for e in results] == [
+            e.match.row_id for e in expected
+        ]
+
+    def test_parallel_streaming_matches_serial(self, session) -> None:
+        options = QueryOptions(l=6)
+
+        async def main():
+            return [
+                entry
+                async for entry in AsyncSession(session).iter_keyword_query(
+                    "Faloutsos", options=options, workers=4
+                )
+            ]
+
+        results = run(main())
+        expected = session.keyword_query("Faloutsos", options=options)
+        assert [e.match.row_id for e in results] == [
+            e.match.row_id for e in expected
+        ]
+
+    def test_event_loop_stays_responsive_while_streaming(self, session) -> None:
+        """A heartbeat task must keep ticking while OSs are computed."""
+        ticks = []
+
+        async def heartbeat():
+            while True:
+                ticks.append(1)
+                await asyncio.sleep(0)
+
+        async def main():
+            beat = asyncio.create_task(heartbeat())
+            results = [
+                entry
+                async for entry in AsyncSession(session).iter_keyword_query(
+                    "Faloutsos", options=QueryOptions(l=10)
+                )
+            ]
+            beat.cancel()
+            return results
+
+        assert run(main())
+        assert len(ticks) > 1
+
+    def test_abandoning_the_stream_stops_the_producer(self, session) -> None:
+        started = threading.Event()
+
+        async def main():
+            iterator = AsyncSession(session).iter_keyword_query(
+                "Faloutsos", options=QueryOptions(l=5)
+            )
+            async for _entry in iterator:
+                started.set()
+                break  # abandon after the first result
+
+        run(main())  # asyncio.run would hang if the producer leaked
+        assert started.is_set()
+
+    def test_search_errors_reach_the_consumer(self, session) -> None:
+        async def main():
+            async for _entry in AsyncSession(session).iter_keyword_query(
+                "Faloutsos", options=QueryOptions(l=0)
+            ):
+                pass
+
+        with pytest.raises(SummaryError):
+            run(main())
+
+
+class TestLifecycle:
+    def test_context_manager_closes_session_pool(self, session) -> None:
+        async def main():
+            async with AsyncSession(session) as asession:
+                await asession.size_l_many(
+                    [("author", 0), ("author", 1)], 5, workers=2
+                )
+            return asession
+
+        run(main())
+        assert session._pool is None  # drained and detached by close()
+
+    def test_cache_stats_passthrough(self, session) -> None:
+        asession = AsyncSession(session)
+        run(asession.size_l("author", 1, 5))
+        assert asession.cache_stats().misses >= 1

@@ -14,6 +14,7 @@ single-flight path would never be exercised.
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
@@ -698,3 +699,153 @@ class TestCLIWorkers:
         code = main(["query", "--keywords", "x", "--workers", "0"])
         assert code == 2
         assert "workers must be" in capsys.readouterr().err
+
+
+class TestCacheStatsType:
+    """The typed CacheStats satellite: attributes, as_dict, deprecation shim."""
+
+    def test_stats_is_typed_and_frozen(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os_flat("author", 1)
+        stats = cache.stats()
+        from repro.core.cache import CacheStats
+
+        assert isinstance(stats, CacheStats)
+        assert stats.misses == 1 and stats.tree_generations == 1
+        with pytest.raises(AttributeError):
+            stats.misses = 5  # frozen: a reading, not a live view
+
+    def test_as_dict_matches_attributes(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os_flat("author", 1)
+        as_dict = cache.stats().as_dict()
+        assert as_dict["misses"] == 1
+        assert set(as_dict) == {
+            "hits", "misses", "cached_subjects", "cached_results",
+            "tree_generations", "result_computations", "single_flight_waits",
+            "lock_contention", "evictions", "disk_hits", "disk_misses",
+            "snapshot_stale",
+        }
+        assert all(isinstance(v, int) for v in as_dict.values())
+
+    def test_string_indexing_warns_but_works(self, dblp_engine) -> None:
+        stats = SummaryCache(dblp_engine).stats()
+        with pytest.warns(DeprecationWarning, match="stats.hits"):
+            assert stats["hits"] == stats.hits
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                stats["not_a_counter"]
+
+    def test_dict_equality_both_ways(self, dblp_engine) -> None:
+        stats = SummaryCache(dblp_engine).stats()
+        assert stats == stats.as_dict()
+        assert stats.as_dict() == stats
+
+    def test_derived_rates(self, dblp_engine) -> None:
+        cache = SummaryCache(dblp_engine)
+        cache.complete_os_flat("author", 1)
+        cache.complete_os_flat("author", 1)
+        stats = cache.stats()
+        assert stats.requests == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+
+
+class TestCloseLifecycle:
+    """Session.close(): idempotent, and in-flight fan-outs drain."""
+
+    def test_double_close_is_noop(self, dblp_engine) -> None:
+        session = Session(dblp_engine)
+        session.size_l_many([("author", 0), ("author", 1)], 5, workers=2)
+        session.close()
+        assert session._pool is None
+        session.close()  # second close: no pool, no error
+        assert session._pool is None
+
+    def test_close_without_ever_using_the_pool(self, dblp_engine) -> None:
+        session = Session(dblp_engine)
+        session.close()
+        session.close()
+
+    def test_close_while_fanout_in_flight_drains(
+        self, dblp_engine, monkeypatch
+    ) -> None:
+        """A barrier holds two generations mid-flight while another thread
+        closes the Session: every result must still arrive (no
+        'cannot schedule new futures after shutdown'), and the second
+        close must be a no-op."""
+        in_flight = threading.Barrier(3, timeout=10)  # 2 workers + closer
+        original = dblp_engine.complete_os_flat
+        call_count = itertools.count()
+
+        def gated(rds_table, row_id, *args, **kwargs):
+            # exactly the first two generations hold the barrier (counter,
+            # not a flag: a worker looping around before the closer flips
+            # a flag would re-enter the auto-resetting barrier and strand)
+            if next(call_count) < 2:
+                in_flight.wait()
+            return original(rds_table, row_id, *args, **kwargs)
+
+        monkeypatch.setattr(dblp_engine, "complete_os_flat", gated)
+        session = Session(dblp_engine)
+        subjects = [("author", row) for row in range(6)]
+        options = QueryOptions(l=5, source=Source.COMPLETE)
+        results: list = []
+        errors: list[BaseException] = []
+
+        def consume() -> None:
+            try:
+                results.extend(
+                    session.size_l_many(subjects, options=options, workers=2)
+                )
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        in_flight.wait()  # two generations are genuinely in flight now
+        session.close()  # drains; must not break the running fan-out
+        session.close()  # idempotent mid-stream too
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+        assert errors == []
+        assert len(results) == len(subjects)
+        expected = [
+            dblp_engine.run(table, row, options.normalized())
+            for table, row in subjects
+        ]
+        assert [r.selected_uids for r in results] == [
+            e.selected_uids for e in expected
+        ]
+
+    def test_fanout_after_close_grows_a_fresh_pool(self, dblp_engine) -> None:
+        session = Session(dblp_engine)
+        session.size_l_many([("author", 0)], 5, workers=2)
+        session.close()
+        results = session.size_l_many(
+            [("author", 1), ("author", 2)], 5, workers=2
+        )
+        assert len(results) == 2
+        session.close()
+
+    def test_submit_degrades_inline_when_executor_refuses(
+        self, dblp_engine, monkeypatch
+    ) -> None:
+        """The drain guarantee's last line: if the executor itself refuses
+        the task (shutdown flag set underneath us), the call runs inline
+        instead of raising through the stream."""
+        session = Session(dblp_engine)
+        session.size_l_many([("author", 0)], 5, workers=2)  # grow the pool
+
+        class Refusing:
+            def submit(self, fn, *args):
+                raise RuntimeError("cannot schedule new futures after shutdown")
+
+            def shutdown(self, wait=True):
+                pass
+
+        monkeypatch.setattr(session, "_pool", Refusing())
+        monkeypatch.setattr(session, "_pool_workers", 8)
+        results = session.size_l_many(
+            [("author", 1), ("author", 2)], 5, workers=2
+        )
+        assert [r.size for r in results] == [5, 5]
