@@ -43,6 +43,7 @@ The CLI builds the synthetic databases on the fly (deterministic under
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import threading
 from pathlib import Path
@@ -119,6 +120,87 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _install_graceful_shutdown(server: object) -> None:
+    """SIGTERM/SIGINT stop the serving loop cleanly (exit 0, not a dump).
+
+    The handler runs *on* the thread inside ``serve_forever`` and
+    ``shutdown()`` blocks until that loop exits, so the call is handed to
+    a helper thread.  Outside the main thread (in-process test harnesses)
+    signal handlers cannot be installed; that is fine — those callers
+    stop the server directly.
+    """
+
+    def _terminate(signum: int, _frame: object) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()  # type: ignore[attr-defined]
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+    except ValueError:  # not the main thread
+        pass
+
+
+def _serve_loop(server: object, args: argparse.Namespace, banner: str) -> int:
+    """The shared serve lifecycle: banner, ready file, signals, loop."""
+    print(banner, flush=True)
+    if args.ready_file is not None:
+        # smoke-test hook: the bound (possibly ephemeral) URL, readable by
+        # the process that launched us
+        args.ready_file.write_text(server.url + "\n", encoding="utf-8")  # type: ignore[attr-defined]
+    _install_graceful_shutdown(server)
+    try:
+        if args.serve_seconds is not None:
+            shutdown = threading.Timer(args.serve_seconds, server.shutdown)  # type: ignore[attr-defined]
+            shutdown.daemon = True
+            shutdown.start()
+        server.serve_forever()  # type: ignore[attr-defined]
+    except KeyboardInterrupt:
+        pass  # a clean operator stop, not an error
+    return EXIT_OK
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: the multi-process cluster path."""
+    from repro.cluster import Cluster, DatasetSpec
+
+    spec = DatasetSpec(
+        name=args.database,
+        database=args.database,
+        seed=args.seed,
+        scale=args.scale,
+        snapshot=None if args.snapshot is None else str(args.snapshot),
+        verify=not args.no_verify,
+    )
+    cluster = Cluster(
+        [spec],
+        args.shards,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        ordered=not args.unordered,
+    )
+    cluster.start()
+    try:
+        try:
+            server = cluster.create_http_server(
+                host=args.host, port=args.port, verbose=args.verbose
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
+            )
+            return EXIT_ERROR
+        banner = (
+            f"serving {args.database} on {server.url} "
+            f"({args.shards} shards, consistent-hash routed)"
+        )
+        try:
+            return _serve_loop(server, args, banner)
+        finally:
+            server.server_close()
+    finally:
+        cluster.stop()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the HTTP front end over the shared loader's Session.
 
@@ -128,10 +210,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     entry named after the database.  ``--workers``/``--unordered`` become
     the Session's default :class:`ParallelConfig`, so every served query
     fans out accordingly unless its request overrides them.
+
+    ``--shards N`` (N > 1) swaps the in-process dispatcher for the
+    :mod:`repro.cluster` worker pool: N subprocesses each build (or
+    snapshot-attach) the dataset, the front end routes by consistent
+    hashing, and SIGTERM drains everything in order.
     """
+    if args.shards > 1:
+        return _serve_cluster(args)
     from repro.service import Deployment, create_server
 
-    session = _load_session(args)
+    session = _load_session(args, cache_size=args.cache_size)
     session.parallel = ParallelConfig(
         workers=args.workers, ordered=not args.unordered
     ).normalized()
@@ -146,24 +235,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # pinned contract reserves for "ran but found nothing"
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return EXIT_ERROR
-    banner = f"serving {args.database} on {server.url}"
-    print(banner, flush=True)
-    if args.ready_file is not None:
-        # smoke-test hook: the bound (possibly ephemeral) URL, readable by
-        # the process that launched us
-        args.ready_file.write_text(server.url + "\n", encoding="utf-8")
     try:
-        if args.serve_seconds is not None:
-            shutdown = threading.Timer(args.serve_seconds, server.shutdown)
-            shutdown.daemon = True
-            shutdown.start()
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass  # a clean operator stop, not an error
+        return _serve_loop(server, args, f"serving {args.database} on {server.url}")
     finally:
         server.server_close()
         deployment.close()
-    return EXIT_OK
 
 
 def _cmd_precompute(args: argparse.Namespace) -> int:
@@ -351,6 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--unordered",
         action="store_true",
         help="with --workers > 1, served queries default to completion order",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve from N worker subprocesses behind a consistent-hash "
+        "router (1 = classic single-process serving)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        metavar="SUBJECTS",
+        help="per-process complete-OS cache capacity (with --shards N the "
+        "cluster holds N disjoint partitions of this size)",
     )
     serve.add_argument(
         "--snapshot",

@@ -1,0 +1,46 @@
+"""Sharded multi-process serving: workers, supervisor, router, bootstrap.
+
+The package splits one serving deployment across N worker *processes*,
+each owning a disjoint cache partition chosen by consistent hashing on
+``(dataset, table, row_id)``.  See :mod:`repro.cluster.serve` for the
+one-object entry point ``repro serve --shards N`` uses.
+"""
+
+from repro.cluster.hashring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.router import ClusterRouter
+from repro.cluster.serve import Cluster
+from repro.cluster.supervisor import Supervisor
+from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
+    TransportError,
+    WorkerClient,
+    recv_frame,
+    send_frame,
+)
+from repro.cluster.worker import (
+    MATCHES_ENDPOINT,
+    PING_ENDPOINT,
+    DatasetSpec,
+    WorkerServer,
+    WorkerSpec,
+    run_worker,
+)
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "ClusterRouter",
+    "Cluster",
+    "Supervisor",
+    "MAX_FRAME_BYTES",
+    "TransportError",
+    "WorkerClient",
+    "recv_frame",
+    "send_frame",
+    "MATCHES_ENDPOINT",
+    "PING_ENDPOINT",
+    "DatasetSpec",
+    "WorkerServer",
+    "WorkerSpec",
+    "run_worker",
+]

@@ -1,0 +1,437 @@
+"""The router: one dispatcher-shaped front end over many shard workers.
+
+:class:`ClusterRouter` implements the same ``dispatch_safe(endpoint,
+payload) -> (status, body)`` surface as
+:class:`~repro.service.dispatch.ServiceDispatcher`, which is the whole
+trick: the HTTP front end plugs into either without knowing which it got,
+and every pinned status code and error body of the single-process service
+survives sharding because the *workers* still run the real dispatcher.
+
+Routing policy (the subject key is ``(dataset, table, row_id)`` on the
+:class:`~repro.cluster.hashring.HashRing`):
+
+* ``/v1/size-l`` — forwarded to the subject's owning shard (malformed
+  payloads go to shard 0, whose dispatcher produces the pinned 400);
+* ``/v1/batch`` — split by owner and scattered; entries are re-indexed to
+  the caller's subject order, per-worker cache counters merged;
+* ``/v1/query`` — one cheap ``cluster/matches`` call computes the ranked
+  match list (and runs the full request validation), the router applies
+  the cursor/page window exactly as the single-process dispatcher does,
+  then scatters the expensive per-subject OS work to each match's owning
+  shard as ``/v1/batch`` and merges by global rank — so cursors minted by
+  a 1-shard server page correctly on an 8-shard one and vice versa;
+* ``/v1/admin/invalidate`` — row-scoped requests go only to the owning
+  shard (the only cache that can hold that subject); broader scopes
+  broadcast;
+* ``/v1/admin/reload`` — broadcast (every worker re-opens the snapshot);
+* ``/v1/stats`` — scattered and merged with
+  :meth:`~repro.core.cache.CacheStats.merge`, plus a ``cluster`` section;
+* ``/v1/datasets`` — any healthy shard (they are replicas of the recipe).
+
+Failure budget: every request gets one deadline (``request_timeout``).  A
+shard that is down is retried until the deadline (worker restarts are
+invisible to patient clients); past it the router answers the pinned 503
+body — the request was *not* served, retrying is safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.supervisor import Supervisor
+from repro.cluster.worker import MATCHES_ENDPOINT
+from repro.core.cache import CacheStats
+from repro.errors import RequestValidationError, ShardUnavailableError
+from repro.service.dispatch import ENDPOINTS, UnknownEndpointError, status_for
+from repro.service.protocol import (
+    MAX_BATCH_SUBJECTS,
+    PROTOCOL_VERSION,
+    Cursor,
+    encode_error,
+)
+
+#: Keys a batch payload may carry; anything else is forwarded whole to a
+#: worker so its decoder produces the pinned unknown-field 400.
+_BATCH_KEYS = {"protocol_version", "dataset", "subjects", "options"}
+
+
+def _is_row_id(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _valid_subject(item: object) -> bool:
+    return (
+        isinstance(item, (list, tuple))
+        and len(item) == 2
+        and isinstance(item[0], str)
+        and _is_row_id(item[1])
+    )
+
+
+class ClusterRouter:
+    """Scatter/gather dispatch over a :class:`Supervisor`'s workers."""
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        *,
+        replicas: int | None = None,
+        request_timeout: float = 30.0,
+        retry_interval: float = 0.05,
+    ) -> None:
+        self.supervisor = supervisor
+        ring_args = {} if replicas is None else {"replicas": replicas}
+        self.ring = HashRing(supervisor.shard_count, **ring_args)
+        self.request_timeout = request_timeout
+        self.retry_interval = retry_interval
+        self._rotation = itertools.count()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(8, supervisor.shard_count * 2),
+            thread_name_prefix="repro-router",
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._inflight_zero = threading.Condition(self._inflight_lock)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _deadline(self) -> float:
+        return time.monotonic() + self.request_timeout
+
+    def _call(
+        self, shard: int, endpoint: str, payload: Any, deadline: float
+    ) -> tuple[int, dict[str, Any]]:
+        """One shard, retried across restarts until the deadline."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardUnavailableError(
+                    shard, f"request deadline ({self.request_timeout}s) exhausted"
+                )
+            try:
+                return self.supervisor.request(
+                    shard, endpoint, payload, timeout=remaining
+                )
+            except ShardUnavailableError:
+                if deadline - time.monotonic() <= self.retry_interval:
+                    raise
+                time.sleep(self.retry_interval)
+
+    def _call_any(
+        self, endpoint: str, payload: Any, deadline: float
+    ) -> tuple[int, dict[str, Any]]:
+        """Any healthy shard (rotated for balance), same deadline rules."""
+        count = self.supervisor.shard_count
+        while True:
+            start = next(self._rotation)
+            last: ShardUnavailableError | None = None
+            for offset in range(count):
+                shard = (start + offset) % count
+                try:
+                    return self.supervisor.request(
+                        shard,
+                        endpoint,
+                        payload,
+                        timeout=max(deadline - time.monotonic(), 1e-3),
+                    )
+                except ShardUnavailableError as exc:
+                    last = exc
+            if deadline - time.monotonic() <= self.retry_interval:
+                assert last is not None
+                raise last
+            time.sleep(self.retry_interval)
+
+    def _scatter(
+        self, calls: list[Callable[[], tuple[int, dict[str, Any]]]]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        """Run the calls concurrently; the first exception propagates."""
+        if len(calls) == 1:
+            return [calls[0]()]
+        futures = [self._pool.submit(call) for call in calls]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _size_l(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+        shard = 0
+        if (
+            isinstance(payload, dict)
+            and isinstance(payload.get("dataset"), str)
+            and isinstance(payload.get("table"), str)
+            and _is_row_id(payload.get("row_id"))
+        ):
+            shard = self.ring.owner(
+                payload["dataset"], payload["table"], payload["row_id"]
+            )
+        return self._call(shard, "/v1/size-l", payload, deadline)
+
+    def _batch(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+        splittable = (
+            isinstance(payload, dict)
+            and set(payload) <= _BATCH_KEYS
+            and isinstance(payload.get("dataset"), str)
+            and isinstance(payload.get("subjects"), (list, tuple))
+            and 0 < len(payload["subjects"]) <= MAX_BATCH_SUBJECTS
+            and all(_valid_subject(item) for item in payload["subjects"])
+        )
+        if not splittable:
+            # let a real dispatcher produce the pinned validation error
+            return self._call(0, "/v1/batch", payload, deadline)
+        dataset = payload["dataset"]
+        groups: dict[int, list[int]] = {}
+        for index, (table, row_id) in enumerate(payload["subjects"]):
+            shard = self.ring.owner(dataset, table, row_id)
+            groups.setdefault(shard, []).append(index)
+
+        def sub_payload(indices: list[int]) -> dict[str, Any]:
+            sub = {
+                key: payload[key]
+                for key in ("protocol_version", "dataset", "options")
+                if key in payload
+            }
+            sub["subjects"] = [list(payload["subjects"][i]) for i in indices]
+            return sub
+
+        shards = sorted(groups)
+        replies = self._scatter(
+            [
+                (lambda s=shard: self._call(
+                    s, "/v1/batch", sub_payload(groups[s]), deadline
+                ))
+                for shard in shards
+            ]
+        )
+        entries: list[dict[str, Any] | None] = [None] * len(payload["subjects"])
+        caches: list[dict[str, int]] = []
+        for shard, (status, body) in zip(shards, replies):
+            if status != 200:
+                return status, body
+            for index, entry in zip(groups[shard], body["results"]):
+                entry = dict(entry)
+                entry["rank"] = index
+                entries[index] = entry
+            caches.append(body.get("cache", {}))
+        return 200, {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": dataset,
+            "cache": CacheStats.merge(*caches).as_dict(),
+            "results": entries,
+        }
+
+    def _query(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+        """The split keyword query: one match call, one batch per shard.
+
+        The window arithmetic below (cursor verification, page slice,
+        next-cursor minting) mirrors ``ServiceDispatcher.query`` line for
+        line — it must, or cursors would not round-trip between shard
+        counts.
+        """
+        status, found = self._call_any(MATCHES_ENDPOINT, payload, deadline)
+        if status != 200:
+            return status, found
+        matches = found["matches"]
+        dataset = found["dataset"]
+        start = 0
+        raw_cursor = payload.get("cursor") if isinstance(payload, dict) else None
+        if raw_cursor is not None:
+            cursor = Cursor.decode(raw_cursor)  # already validated by the worker
+            stable = cursor.rank < len(matches) and (
+                matches[cursor.rank]["table"] == cursor.table
+                and matches[cursor.rank]["row_id"] == cursor.row_id
+            )
+            if not stable:
+                exc = RequestValidationError(
+                    f"stale cursor: rank {cursor.rank} is no longer "
+                    f"{cursor.table}#{cursor.row_id} in the current ranking; "
+                    "restart the query without a cursor"
+                )
+                return 400, encode_error(exc, 400)
+            start = cursor.rank + 1
+        page = matches[start:]
+        page_size = payload.get("page_size") if isinstance(payload, dict) else None
+        if page_size is not None:
+            page = page[:page_size]
+
+        groups: dict[int, list[int]] = {}
+        for offset, match in enumerate(page):
+            shard = self.ring.owner(dataset, match["table"], match["row_id"])
+            groups.setdefault(shard, []).append(offset)
+
+        def sub_payload(offsets: list[int]) -> dict[str, Any]:
+            sub: dict[str, Any] = {"dataset": dataset}
+            if isinstance(payload, dict) and "options" in payload:
+                sub["options"] = payload["options"]
+            sub["subjects"] = [
+                [page[o]["table"], page[o]["row_id"]] for o in offsets
+            ]
+            return sub
+
+        shards = sorted(groups)
+        replies = self._scatter(
+            [
+                (lambda s=shard: self._call(
+                    s, "/v1/batch", sub_payload(groups[s]), deadline
+                ))
+                for shard in shards
+            ]
+        )
+        entries: list[dict[str, Any] | None] = [None] * len(page)
+        caches: list[dict[str, int]] = []
+        for shard, (batch_status, body) in zip(shards, replies):
+            if batch_status != 200:
+                return batch_status, body
+            for offset, entry in zip(groups[shard], body["results"]):
+                entry = dict(entry)
+                entry["rank"] = start + offset
+                entry["match_importance"] = float(page[offset]["importance"])
+                entries[offset] = entry
+            caches.append(body.get("cache", {}))
+        next_cursor = None
+        if page and start + len(page) < len(matches):
+            last = page[-1]
+            next_cursor = Cursor(
+                rank=start + len(page) - 1,
+                table=last["table"],
+                row_id=last["row_id"],
+            ).encode()
+        return 200, {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": dataset,
+            "cache": CacheStats.merge(*caches).as_dict(),
+            "keywords": found["keywords"],
+            "results": entries,
+            "total_matches": found["total"],
+            "next_cursor": next_cursor,
+        }
+
+    def _stats(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+        shards = range(self.supervisor.shard_count)
+        replies = self._scatter(
+            [
+                (lambda s=shard: self._call(s, "/v1/stats", payload, deadline))
+                for shard in shards
+            ]
+        )
+        for status, body in replies:
+            if status != 200:
+                return status, body
+        bodies = [body for _status, body in replies]
+        merged = dict(bodies[0])
+        if isinstance(payload, dict) and payload.get("dataset") is not None:
+            merged["cache"] = CacheStats.merge(
+                *(body.get("cache", {}) for body in bodies)
+            ).as_dict()
+        else:
+            for name, info in merged.items():
+                if isinstance(info, dict) and "cache" in info:
+                    info = dict(info)
+                    info["cache"] = CacheStats.merge(
+                        *(body[name]["cache"] for body in bodies if "cache" in body.get(name, {}))
+                    ).as_dict()
+                    merged[name] = info
+        merged["cluster"] = {
+            "shards": self.supervisor.shard_count,
+            "ready": self.supervisor.ready_count(),
+        }
+        return 200, merged
+
+    def _invalidate(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+        row_scoped = (
+            isinstance(payload, dict)
+            and set(payload) <= {"dataset", "table", "row_id"}
+            and isinstance(payload.get("dataset"), str)
+            and isinstance(payload.get("table"), str)
+            and _is_row_id(payload.get("row_id"))
+        )
+        if row_scoped:
+            shard = self.ring.owner(
+                payload["dataset"], payload["table"], payload["row_id"]
+            )
+            return self._call(shard, "/v1/admin/invalidate", payload, deadline)
+        return self._broadcast("/v1/admin/invalidate", payload, deadline)
+
+    def _broadcast(
+        self, endpoint: str, payload: Any, deadline: float
+    ) -> tuple[int, dict[str, Any]]:
+        """Every shard must apply the mutation; first failure wins."""
+        shards = range(self.supervisor.shard_count)
+        replies = self._scatter(
+            [
+                (lambda s=shard: self._call(s, endpoint, payload, deadline))
+                for shard in shards
+            ]
+        )
+        for status, body in replies:
+            if status != 200:
+                return status, body
+        return replies[0]
+
+    # ------------------------------------------------------------------ #
+    # The dispatcher-shaped surface
+    # ------------------------------------------------------------------ #
+    def dispatch_safe(
+        self, endpoint: str, payload: object = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; never raises (same contract as the
+        single-process ``ServiceDispatcher.dispatch_safe``)."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            deadline = self._deadline()
+            if endpoint == "/v1/query":
+                return self._query(payload, deadline)
+            if endpoint == "/v1/size-l":
+                return self._size_l(payload, deadline)
+            if endpoint == "/v1/batch":
+                return self._batch(payload, deadline)
+            if endpoint == "/v1/datasets":
+                return self._call_any("/v1/datasets", payload, deadline)
+            if endpoint == "/v1/stats":
+                return self._stats(payload, deadline)
+            if endpoint == "/v1/admin/invalidate":
+                return self._invalidate(payload, deadline)
+            if endpoint == "/v1/admin/reload":
+                return self._broadcast("/v1/admin/reload", payload, deadline)
+            exc = UnknownEndpointError(endpoint)
+            return 404, encode_error(exc, 404)
+        except ShardUnavailableError as exc:
+            return 503, encode_error(exc, 503)
+        except Exception as exc:  # noqa: BLE001 - the dispatch_safe contract
+            status = status_for(exc, endpoint)
+            return status, encode_error(exc, status)
+        finally:
+            with self._inflight_zero:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._inflight_zero.notify_all()
+
+    def healthz(self) -> dict[str, Any]:
+        """Cluster liveness: the router is up; per-shard detail inside."""
+        shards = self.supervisor.describe()
+        return {
+            "ok": all(info["ready"] for info in shards),
+            "role": "router",
+            "shards": shards,
+            "endpoints": list(ENDPOINTS),
+        }
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for in-flight requests to finish (graceful-shutdown half)."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_zero:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_zero.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)

@@ -1,0 +1,376 @@
+"""The supervisor: worker processes kept alive, restarted, and drained.
+
+One :class:`Supervisor` owns N worker subprocesses (one per shard).  Its
+job is the robustness half of the cluster:
+
+* **startup handshake** — each worker writes a per-generation ready file
+  once its sessions are built and its port is bound; a worker that dies
+  or stays silent past the deadline raises
+  :class:`~repro.errors.WorkerStartupError` with its stderr tail;
+* **health checking** — a background thread pings every worker over the
+  cluster transport; a dead process or repeated ping failures trigger a
+  restart with *bounded exponential backoff* (a crash-looping spec can
+  never busy-spin the machine), and the backoff resets once the worker
+  has been healthy again;
+* **crash isolation** — a restart replaces one process; the other shards'
+  processes, caches, and connections are untouched, so one bad worker
+  degrades exactly its key range;
+* **graceful stop** — SIGTERM to every worker (they drain in-flight
+  frames and exit 0), escalation to SIGKILL only for stragglers.
+
+The supervisor never *routes*: request traffic goes through
+:class:`~repro.cluster.router.ClusterRouter`, which asks this class for a
+shard's :class:`~repro.cluster.transport.WorkerClient` and treats "no
+healthy client" as a retryable :class:`~repro.errors.ShardUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.transport import TransportError, WorkerClient
+from repro.cluster.worker import PING_ENDPOINT, WorkerSpec
+from repro.errors import ShardUnavailableError, WorkerStartupError
+
+#: Consecutive ping failures that condemn a live-looking process.
+_PING_STRIKES = 3
+
+
+def _worker_env() -> dict[str, str]:
+    """The subprocess environment: this library's ``src`` on PYTHONPATH."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    if existing:
+        if src_dir not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src_dir + os.pathsep + existing
+    else:
+        env["PYTHONPATH"] = src_dir
+    return env
+
+
+@dataclass
+class _Handle:
+    """One shard's live state (guarded by the handle's lock)."""
+
+    index: int
+    spec: WorkerSpec
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    process: subprocess.Popen | None = None
+    client: WorkerClient | None = None
+    ready: bool = False
+    generation: int = 0
+    restarts: int = 0
+    consecutive_failures: int = 0
+    ping_strikes: int = 0
+    #: monotonic time before which no restart attempt may run (backoff)
+    not_before: float = 0.0
+    #: monotonic time the worker last became ready (backoff reset clock)
+    ready_since: float = 0.0
+
+
+class Supervisor:
+    """Spawn, babysit, and stop one worker process per shard."""
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        *,
+        python: str = sys.executable,
+        startup_timeout: float = 120.0,
+        health_interval: float = 0.5,
+        ping_timeout: float = 2.0,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+        backoff_reset_after: float = 10.0,
+        run_dir: "str | Path | None" = None,
+    ) -> None:
+        self.python = python
+        self.startup_timeout = startup_timeout
+        self.health_interval = health_interval
+        self.ping_timeout = ping_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_reset_after = backoff_reset_after
+        if run_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            self.run_dir = Path(self._tempdir.name)
+        else:
+            self._tempdir = None
+            self.run_dir = Path(run_dir)
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._handles = [_Handle(index=i, spec=spec) for i, spec in enumerate(specs)]
+        self._env = _worker_env()
+        self._stopping = threading.Event()
+        self._health_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_count(self) -> int:
+        return len(self._handles)
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Per-shard liveness (the router's ``healthz`` reads this)."""
+        out = []
+        for handle in self._handles:
+            with handle.lock:
+                out.append(
+                    {
+                        "shard": handle.index,
+                        "ready": handle.ready,
+                        "pid": None if handle.process is None else handle.process.pid,
+                        "restarts": handle.restarts,
+                    }
+                )
+        return out
+
+    def ready_count(self) -> int:
+        count = 0
+        for handle in self._handles:
+            with handle.lock:
+                count += handle.ready
+        return count
+
+    def restarts(self, shard: int) -> int:
+        handle = self._handles[shard]
+        with handle.lock:
+            return handle.restarts
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Supervisor":
+        """Spawn every worker concurrently and wait for all handshakes."""
+        threads = [
+            threading.Thread(target=self._spawn_checked, args=(handle,), daemon=True)
+            for handle in self._handles
+        ]
+        errors: list[BaseException] = []
+        self._spawn_errors = errors
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            self.stop(graceful=False)
+            raise errors[0]
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="repro-cluster-health", daemon=True
+        )
+        self._health_thread.start()
+        return self
+
+    def _spawn_checked(self, handle: _Handle) -> None:
+        try:
+            self._spawn(handle)
+        except BaseException as exc:  # noqa: BLE001 - collected by start()
+            self._spawn_errors.append(exc)
+
+    def _spawn(self, handle: _Handle) -> None:
+        """Launch one worker and block until its ready record lands."""
+        with handle.lock:
+            handle.generation += 1
+            generation = handle.generation
+            ready_file = self.run_dir / f"ready-{handle.index}-{generation}.json"
+            spec = WorkerSpec(
+                **{
+                    **handle.spec.as_dict(),
+                    "ready_file": str(ready_file),
+                    "datasets": handle.spec.datasets,
+                }
+            )
+            stderr_path = self.run_dir / f"stderr-{handle.index}-{generation}.log"
+            stderr = open(stderr_path, "wb")
+            try:
+                process = subprocess.Popen(
+                    [
+                        self.python,
+                        "-m",
+                        "repro.cluster.worker",
+                        json.dumps(spec.as_dict()),
+                    ],
+                    env=self._env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=stderr,
+                )
+            finally:
+                stderr.close()
+            handle.process = process
+            handle.ready = False
+        deadline = time.monotonic() + self.startup_timeout
+        while True:
+            if ready_file.is_file():
+                record = json.loads(ready_file.read_text(encoding="utf-8"))
+                break
+            if process.poll() is not None:
+                tail = stderr_path.read_text(encoding="utf-8", errors="replace")
+                raise WorkerStartupError(
+                    handle.index,
+                    f"exited with code {process.returncode}: {tail[-2000:]}",
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise WorkerStartupError(
+                    handle.index, f"no ready record after {self.startup_timeout}s"
+                )
+            if self._stopping.is_set():
+                process.kill()
+                raise WorkerStartupError(handle.index, "supervisor stopping")
+            time.sleep(0.02)
+        client = WorkerClient(spec.host, int(record["port"]))
+        with handle.lock:
+            old_client, handle.client = handle.client, client
+            handle.ready = True
+            handle.ready_since = time.monotonic()
+            handle.ping_strikes = 0
+        if old_client is not None:
+            old_client.close()
+
+    def client(self, shard: int) -> WorkerClient:
+        """The shard's transport client; raises when it is down/restarting."""
+        handle = self._handles[shard]
+        with handle.lock:
+            if not handle.ready or handle.client is None:
+                raise ShardUnavailableError(shard, "worker is down or restarting")
+            return handle.client
+
+    def request(
+        self, shard: int, endpoint: str, payload: Any = None, *, timeout: float = 30.0
+    ) -> tuple[int, dict[str, Any]]:
+        """One round-trip to *shard*; transport failures become
+        :class:`ShardUnavailableError` (retryable by the caller)."""
+        client = self.client(shard)
+        try:
+            return client.request(endpoint, payload, timeout=timeout)
+        except TransportError as exc:
+            raise ShardUnavailableError(shard, str(exc)) from exc
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL one worker (crash injection for tests and benchmarks)."""
+        handle = self._handles[shard]
+        with handle.lock:
+            process = handle.process
+        if process is not None and process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    def stop(self, *, graceful: bool = True, timeout: float = 10.0) -> None:
+        """Stop the health loop and every worker; escalate to SIGKILL."""
+        self._stopping.set()
+        thread = self._health_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=max(timeout, self.health_interval * 4))
+        for handle in self._handles:
+            with handle.lock:
+                process, client = handle.process, handle.client
+                handle.ready = False
+                handle.client = None
+            if client is not None:
+                client.close()
+            if process is not None and process.poll() is None:
+                process.send_signal(signal.SIGTERM if graceful else signal.SIGKILL)
+        deadline = time.monotonic() + timeout
+        for handle in self._handles:
+            with handle.lock:
+                process = handle.process
+            if process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Health loop
+    # ------------------------------------------------------------------ #
+    def _health_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval):
+            for handle in self._handles:
+                if self._stopping.is_set():
+                    return
+                try:
+                    self._check(handle)
+                except WorkerStartupError:
+                    # the restart itself failed: count it and back off more
+                    self._note_failure(handle)
+
+    def _check(self, handle: _Handle) -> None:
+        with handle.lock:
+            process, client, ready = handle.process, handle.client, handle.ready
+            not_before = handle.not_before
+            ready_since = handle.ready_since
+            failures = handle.consecutive_failures
+        if process is None:
+            return
+        if process.poll() is not None:
+            # the process is gone: restart once the backoff window opens
+            if ready:
+                self._note_failure(handle)  # first observation of this death
+                return
+            if time.monotonic() >= not_before:
+                with handle.lock:
+                    handle.restarts += 1
+                self._spawn(handle)
+            return
+        if not ready or client is None:
+            return
+        # liveness probe: a wedged-but-alive worker must also be replaced
+        try:
+            status, body = client.request(
+                PING_ENDPOINT, timeout=self.ping_timeout
+            )
+            ok = status == 200 and body.get("ok") is True
+        except TransportError:
+            ok = False
+        with handle.lock:
+            if ok:
+                handle.ping_strikes = 0
+            else:
+                handle.ping_strikes += 1
+                strikes = handle.ping_strikes
+        if not ok and strikes >= _PING_STRIKES:
+            process.kill()
+            self._note_failure(handle)
+        elif ok and failures and time.monotonic() - ready_since >= self.backoff_reset_after:
+            with handle.lock:
+                handle.consecutive_failures = 0
+
+    def _note_failure(self, handle: _Handle) -> None:
+        """Mark a shard down and arm the (bounded, exponential) backoff."""
+        with handle.lock:
+            handle.ready = False
+            client, handle.client = handle.client, None
+            handle.consecutive_failures += 1
+            delay = min(
+                self.backoff_base * (2 ** (handle.consecutive_failures - 1)),
+                self.backoff_cap,
+            )
+            handle.not_before = time.monotonic() + delay
+            handle.ping_strikes = 0
+        if client is not None:
+            client.close()

@@ -1,0 +1,212 @@
+"""Length-prefixed JSON framing between the router and its workers.
+
+The cluster's internal fabric is deliberately boring: one TCP connection
+carries a sequence of frames, each a 4-byte big-endian length followed by
+a UTF-8 JSON document.  Requests and responses are the same envelopes the
+HTTP layer speaks (endpoint + payload in, status + body out), so a worker
+is PR 5's :class:`~repro.service.dispatch.ServiceDispatcher` behind a
+socket instead of behind ``ThreadingHTTPServer`` — no second protocol to
+keep correct.
+
+:class:`WorkerClient` is the router side: a small pool of persistent
+connections per worker (one in-flight request per connection; concurrency
+comes from using several).  Any transport failure closes the affected
+connection and surfaces as :class:`TransportError` — the router decides
+whether to retry (the worker may be restarting) or to answer 503.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any
+
+from repro.errors import ClusterError
+
+#: Frame header: payload byte length, 4-byte big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Frames above this are rejected before allocation (same ceiling as the
+#: HTTP front end's request-body cap).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class TransportError(ClusterError):
+    """A connection-level failure (EOF, reset, timeout, oversized or
+    malformed frame).  The connection it happened on is unusable; the
+    request itself was not necessarily served — callers retry or 503."""
+
+
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Serialize and write one frame (raises :class:`TransportError`)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} cap"
+        )
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; ``None`` on clean EOF before the first byte.
+
+    A timeout *before any byte arrived* propagates as ``socket.timeout`` —
+    that is the idle case pollers (the worker's drain check) act on.  A
+    timeout mid-read means a half-sent frame: the connection is
+    desynchronized and only :class:`TransportError` is correct.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            if not chunks:
+                raise
+            raise TransportError(
+                f"timed out mid-read ({n - remaining}/{n} bytes)"
+            ) from None
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not chunk:
+            if not chunks:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+        )
+    try:
+        payload = _recv_exact(sock, length) if length else b""
+    except socket.timeout:  # the header is consumed: this is mid-frame
+        raise TransportError("timed out between header and payload") from None
+    if payload is None:
+        raise TransportError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TransportError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise TransportError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+class WorkerClient:
+    """The router's connection pool to one worker process.
+
+    Each :meth:`request` checks a connection out of the idle pool (or
+    dials a new one), performs exactly one framed round-trip under the
+    caller's deadline, and returns the connection on success.  A failed
+    connection is closed, never pooled — the next request dials fresh,
+    which is what makes a worker restart transparent to callers that
+    retry.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        max_idle: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.max_idle = max_idle
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise TransportError("client is closed")
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to worker at {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    def request(
+        self,
+        endpoint: str,
+        payload: Any = None,
+        *,
+        timeout: float = 30.0,
+    ) -> tuple[int, dict[str, Any]]:
+        """One ``(status, body)`` round-trip within *timeout* seconds."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+        sock = self._checkout()
+        try:
+            sock.settimeout(max(timeout, 1e-3))
+            send_frame(
+                sock,
+                {"id": request_id, "endpoint": endpoint, "payload": payload},
+            )
+            message = recv_frame(sock)
+        except TransportError:
+            sock.close()
+            raise
+        except OSError as exc:  # settimeout on a dead socket, timeouts
+            sock.close()
+            raise TransportError(f"round-trip failed: {exc}") from exc
+        if message is None:
+            sock.close()
+            raise TransportError("worker closed the connection before replying")
+        if message.get("id") != request_id:
+            # a desynchronized connection can only serve wrong answers
+            sock.close()
+            raise TransportError(
+                f"response id {message.get('id')!r} != request id {request_id}"
+            )
+        status = message.get("status")
+        body = message.get("body")
+        if not isinstance(status, int) or not isinstance(body, dict):
+            sock.close()
+            raise TransportError(f"malformed response envelope: {message!r}")
+        self._checkin(sock)
+        return status, body
+
+    def close(self) -> None:
+        """Close every pooled connection (in-flight ones close themselves)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for sock in idle:
+            sock.close()

@@ -167,6 +167,31 @@ class CacheStats:
         # record should stay usable as a dict key / set member
         return hash(tuple(self.as_dict().values()))
 
+    @classmethod
+    def merge(cls, *stats: "CacheStats | dict[str, int]") -> "CacheStats":
+        """One fleet-wide reading from many caches' counters.
+
+        Sums every raw counter; the derived ``requests``/``hit_rate``
+        properties recompute from the merged totals (a mean of per-cache
+        hit rates would weight an idle cache the same as a busy one).
+        Accepts typed readings or their ``as_dict()`` wire form — the
+        cluster router merges per-worker counters straight off JSON
+        responses.  ``merge()`` of nothing is the zero reading.
+        """
+        totals = dict.fromkeys((f.name for f in dataclasses.fields(cls)), 0)
+        for reading in stats:
+            counters = (
+                reading.as_dict() if isinstance(reading, CacheStats) else reading
+            )
+            for key in totals:
+                value = counters.get(key, 0)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise TypeError(
+                        f"cannot merge non-integer counter {key}={value!r}"
+                    )
+                totals[key] += value
+        return cls(**totals)
+
 
 @dataclass
 class _SubjectEntry:

@@ -117,6 +117,37 @@ class RequestValidationError(ServiceError):
     maps this to status 400; the message always names the offending field."""
 
 
+class ClusterError(ServiceError):
+    """Raised for invalid multi-process cluster operations (see
+    :mod:`repro.cluster`): bad shard specs, malformed transport frames,
+    workers that never come up."""
+
+
+class WorkerStartupError(ClusterError):
+    """Raised when a shard worker process exits or stays silent during its
+    startup handshake.  Carries the shard index and (when the process died)
+    its captured stderr tail, so a misconfigured dataset spec is debuggable
+    from the supervisor side."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(f"shard {shard} worker failed to start: {detail}")
+        self.shard = shard
+
+
+class ShardUnavailableError(ClusterError):
+    """Raised when a shard worker cannot serve a request within its timeout
+    budget (dead, restarting, or overloaded).  The cluster router maps this
+    to the pinned HTTP 503 error body — the request was *not* half-served;
+    clients may safely retry."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(
+            f"shard {shard} is unavailable: {detail}; the request was not "
+            "served (safe to retry)"
+        )
+        self.shard = shard
+
+
 class UnknownDatasetError(ServiceError):
     """Raised when a request names a dataset the :class:`~repro.service.Deployment`
     does not host.  The HTTP front end maps this to status 404."""

@@ -42,7 +42,7 @@ from repro.errors import RequestValidationError, ServiceError
 #: legitimate batch, small enough to keep a stray client from ballooning RSS).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-_GET_ENDPOINTS = ("/v1/datasets", "/v1/stats")
+_GET_ENDPOINTS = ("/v1/datasets", "/v1/stats", "/v1/healthz")
 _POST_ENDPOINTS = (
     "/v1/query",
     "/v1/size-l",
@@ -98,6 +98,11 @@ class _Handler(BaseHTTPRequestHandler):
         if split.path in _POST_ENDPOINTS:
             self._method_not_allowed("POST")
             return
+        if split.path == "/v1/healthz":
+            # liveness must stay allocation-cheap and session-build-free:
+            # it answers before (and instead of) the dispatch machinery
+            self._send_json(200, self.server.healthz())
+            return
         payload: dict[str, Any] | None = None
         query = parse_qs(split.query)
         if "dataset" in query:
@@ -137,20 +142,43 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one dispatcher."""
+    """A :class:`ThreadingHTTPServer` bound to one dispatcher.
+
+    "Dispatcher" means anything with the ``dispatch_safe(endpoint,
+    payload) -> (status, body)`` surface: the single-process
+    :class:`ServiceDispatcher` or the cluster's scatter/gather router —
+    the front end cannot tell them apart, which is how ``repro serve
+    --shards N`` reuses this file unchanged.
+    """
 
     daemon_threads = True  # a hung client connection must not block shutdown
 
     def __init__(
         self,
         address: tuple[str, int],
-        dispatcher: ServiceDispatcher,
+        dispatcher: "ServiceDispatcher | Any",
         *,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, _Handler)
         self.dispatcher = dispatcher
         self.verbose = verbose
+
+    def healthz(self) -> dict[str, Any]:
+        """The ``GET /v1/healthz`` body: pinned 200-status liveness.
+
+        Dispatchers that know more (the cluster router knows per-shard
+        readiness) provide their own ``healthz()``; the single-process
+        default reports the hosted names without building any session.
+        """
+        hook = getattr(self.dispatcher, "healthz", None)
+        if callable(hook):
+            return hook()
+        return {
+            "ok": True,
+            "role": "single-process",
+            "datasets": self.dispatcher.deployment.names(),
+        }
 
     @property
     def port(self) -> int:

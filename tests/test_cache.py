@@ -207,3 +207,60 @@ class TestCountingBugfix:
         cache.size_l("author", 1, 5)
         cache.size_l("author", 1, 7)
         assert cache.cached_results == 2
+
+
+class TestCacheStatsMerge:
+    """``CacheStats.merge``: the cluster's per-worker counter aggregation."""
+
+    def test_merge_sums_every_counter(self) -> None:
+        from repro.core.cache import CacheStats
+
+        a = CacheStats(hits=3, misses=1, cached_subjects=2, tree_generations=1)
+        b = CacheStats(hits=4, misses=2, evictions=5, disk_hits=7)
+        merged = CacheStats.merge(a, b)
+        assert merged.hits == 7
+        assert merged.misses == 3
+        assert merged.cached_subjects == 2
+        assert merged.tree_generations == 1
+        assert merged.evictions == 5
+        assert merged.disk_hits == 7
+        # derived properties compose like the raw counters do
+        assert merged.requests == a.requests + b.requests
+
+    def test_merge_accepts_wire_dicts(self) -> None:
+        """Workers report counters as JSON dicts; merge takes them as-is
+        (missing keys mean zero — a newer router may merge older workers)."""
+        from repro.core.cache import CacheStats
+
+        merged = CacheStats.merge(
+            {"hits": 2, "misses": 1},
+            CacheStats(hits=1),
+            {},
+        )
+        assert merged.hits == 3
+        assert merged.misses == 1
+        assert merged.evictions == 0
+
+    def test_merge_of_nothing_is_all_zeros(self) -> None:
+        from repro.core.cache import CacheStats
+
+        assert CacheStats.merge() == CacheStats()
+        assert CacheStats.merge().requests == 0
+
+    def test_merge_rejects_non_integer_counters(self) -> None:
+        from repro.core.cache import CacheStats
+
+        with pytest.raises(TypeError, match="non-integer counter"):
+            CacheStats.merge({"hits": "3"})
+        with pytest.raises(TypeError, match="non-integer counter"):
+            CacheStats.merge({"hits": True})
+
+    def test_merge_round_trips_as_dict(self) -> None:
+        from repro.core.cache import CacheStats
+
+        a = CacheStats(hits=5, single_flight_waits=2, snapshot_stale=1)
+        b = CacheStats(misses=3, lock_contention=4)
+        assert (
+            CacheStats.merge(a.as_dict(), b.as_dict())
+            == CacheStats.merge(a, b).as_dict()
+        )

@@ -1,0 +1,129 @@
+"""Property tests for the consistent-hash ring (`repro.cluster.hashring`).
+
+The ring is the cluster's correctness anchor: every router (and every
+router rebuilt after a crash) must place every subject on the same shard,
+and resizing the shard set must strand as few warm cache entries as
+possible.  Hypothesis drives arbitrary subject keys through both claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashring import DEFAULT_REPLICAS, HashRing
+from repro.errors import ClusterError
+
+#: Arbitrary subject keys.  Text includes the "\x1f" separator character
+#: on purpose — the hash must not let crafted table names collide whole
+#: keys into each other in a way that breaks determinism (it cannot:
+#: determinism is per-string), and the ring must not crash on them.
+_keys = st.tuples(
+    st.text(min_size=0, max_size=20),
+    st.text(min_size=0, max_size=20),
+    st.integers(min_value=0, max_value=2**40),
+)
+
+
+class TestDeterminism:
+    @given(key=_keys, shards=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=200, deadline=None)
+    def test_independent_rings_agree(self, key, shards) -> None:
+        """Placement is a pure function of the membership — the property
+        that lets a restarted router keep routing to warm caches."""
+        first = HashRing(shards)
+        second = HashRing(shards)
+        dataset, table, row_id = key
+        assert first.owner(dataset, table, row_id) == second.owner(
+            dataset, table, row_id
+        )
+
+    @given(key=_keys, shards=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=200, deadline=None)
+    def test_owner_is_a_member(self, key, shards) -> None:
+        dataset, table, row_id = key
+        assert HashRing(shards).owner(dataset, table, row_id) in range(shards)
+
+    def test_count_and_id_sequence_forms_agree(self) -> None:
+        """``HashRing(4)`` is exactly ``HashRing(range(4))``."""
+        by_count = HashRing(4)
+        by_ids = HashRing([0, 1, 2, 3])
+        for row_id in range(500):
+            assert by_count.owner("dblp", "author", row_id) == by_ids.owner(
+                "dblp", "author", row_id
+            )
+
+
+class TestBoundedMovement:
+    @given(key=_keys, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=300, deadline=None)
+    def test_join_moves_keys_only_onto_the_new_shard(self, key, shards) -> None:
+        """Growing N -> N+1 may re-home a key only to the *new* shard; a
+        key that moved anywhere else would cold-start an unrelated cache."""
+        dataset, table, row_id = key
+        before = HashRing(shards).owner(dataset, table, row_id)
+        after = HashRing(shards + 1).owner(dataset, table, row_id)
+        assert after == before or after == shards
+
+    @given(
+        key=_keys,
+        shards=st.integers(min_value=2, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_leave_moves_only_the_removed_shards_keys(
+        self, key, shards, data
+    ) -> None:
+        """Removing a shard re-homes its keys and nothing else."""
+        removed = data.draw(st.integers(min_value=0, max_value=shards - 1))
+        dataset, table, row_id = key
+        survivors = [s for s in range(shards) if s != removed]
+        before = HashRing(shards).owner(dataset, table, row_id)
+        after = HashRing(survivors).owner(dataset, table, row_id)
+        if before == removed:
+            assert after in survivors
+        else:
+            assert after == before
+
+
+class TestBalance:
+    def test_virtual_nodes_spread_the_load(self) -> None:
+        """With the default replica count no shard owns a pathological
+        share of a uniform key population (the bound is loose on purpose:
+        consistent hashing trades perfect balance for stability)."""
+        shards = 4
+        ring = HashRing(shards)
+        counts = [0] * shards
+        for row_id in range(20_000):
+            counts[ring.owner("dblp", "author", row_id)] += 1
+        mean = sum(counts) / shards
+        assert max(counts) / mean < 1.5
+        assert min(counts) / mean > 0.5
+
+    def test_more_replicas_is_a_real_knob(self) -> None:
+        ring = HashRing(3, replicas=8)
+        assert ring.replicas == 8
+        assert len(ring._hashes) == 3 * 8
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self) -> None:
+        with pytest.raises(ClusterError, match="at least one shard"):
+            HashRing(0)
+
+    def test_empty_member_sequence_rejected(self) -> None:
+        with pytest.raises(ClusterError, match="at least one shard"):
+            HashRing([])
+
+    def test_duplicate_members_rejected(self) -> None:
+        with pytest.raises(ClusterError, match="duplicate shard ids"):
+            HashRing([0, 1, 1])
+
+    def test_zero_replicas_rejected(self) -> None:
+        with pytest.raises(ClusterError, match="replicas"):
+            HashRing(2, replicas=0)
+
+    def test_default_replicas_pinned(self) -> None:
+        assert DEFAULT_REPLICAS == 128
+        assert HashRing(2).replicas == DEFAULT_REPLICAS

@@ -385,3 +385,39 @@ class TestErrorContract:
         status, body = call(server, "/v1/datasets", {"x": 1})
         assert status == 405
         assert "use GET" in body["error"]["message"]
+
+
+class TestHealthz:
+    """``GET /v1/healthz``: pinned 200 liveness, no session builds."""
+
+    def test_healthz_is_200_and_names_the_datasets(self, served) -> None:
+        server, _deployment = served
+        status, body = call(server, "/v1/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["role"] == "single-process"
+        assert body["datasets"] == ["dblp", "tpch"]
+
+    def test_healthz_never_builds_a_session(self) -> None:
+        """A liveness probe on a freshly registered (unbuilt) deployment
+        must answer without paying dataset synthesis."""
+        deployment = Deployment().add("cold", named="dblp", scale=0.2)
+        server = create_server(deployment)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body = call(server, "/v1/healthz")
+            assert status == 200
+            assert body["ok"] is True
+            assert deployment.describe("cold")["built"] is False
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            deployment.close()
+
+    def test_healthz_is_get_only(self, served) -> None:
+        server, _deployment = served
+        status, body = call(server, "/v1/healthz", {"x": 1})
+        assert status == 405
+        assert "use GET" in body["error"]["message"]
