@@ -28,10 +28,25 @@ Routing policy (the subject key is ``(dataset, table, row_id)`` on the
   :meth:`~repro.core.cache.CacheStats.merge`, plus a ``cluster`` section;
 * ``/v1/datasets`` — any healthy shard (they are replicas of the recipe).
 
-Failure budget: every request gets one deadline (``request_timeout``).  A
-shard that is down is retried until the deadline (worker restarts are
-invisible to patient clients); past it the router answers the pinned 503
-body — the request was *not* served, retrying is safe.
+Failure budget: every request gets one deadline — the router's flat
+``request_timeout``, tightened to the client's ``deadline_ms`` when the
+request carries one.  A shard that is down is retried until that budget
+runs out (worker restarts are invisible to patient clients), paced by a
+**per-shard circuit breaker**: after ``breaker_threshold`` consecutive
+transport failures the breaker opens and retries stop dialing the dead
+socket, waiting on the clock instead; every ``breaker_reset`` seconds one
+half-open probe tests whether the worker is back.  Past the budget the
+router answers the pinned 503 body — or the pinned **504**
+(:class:`~repro.errors.DeadlineExceededError`, byte-identical to the
+single-process body) when the client's own ``deadline_ms`` is what
+expired.  Forwarded sub-requests carry the *remaining* budget, so a
+worker cancels exactly when its router would have given up on it.
+
+Degraded mode: a query with ``allow_partial: true`` answers from the
+healthy shards when some owners are unavailable — ``degraded: true``
+plus the missing-shard list instead of a 503 — bounded per missing shard
+by ``partial_patience`` (a dead shard must not eat the whole budget).
+``/v1/stats`` honors the same flag with a partial merge.
 """
 
 from __future__ import annotations
@@ -46,7 +61,12 @@ from repro.cluster.hashring import HashRing
 from repro.cluster.supervisor import Supervisor
 from repro.cluster.worker import MATCHES_ENDPOINT
 from repro.core.cache import CacheStats
-from repro.errors import RequestValidationError, ShardUnavailableError
+from repro.errors import (
+    DeadlineExceededError,
+    RequestValidationError,
+    ShardUnavailableError,
+)
+from repro.reliability.breaker import CLOSED, CircuitBreaker
 from repro.service.dispatch import ENDPOINTS, UnknownEndpointError, status_for
 from repro.service.protocol import (
     MAX_BATCH_SUBJECTS,
@@ -57,7 +77,7 @@ from repro.service.protocol import (
 
 #: Keys a batch payload may carry; anything else is forwarded whole to a
 #: worker so its decoder produces the pinned unknown-field 400.
-_BATCH_KEYS = {"protocol_version", "dataset", "subjects", "options"}
+_BATCH_KEYS = {"protocol_version", "dataset", "subjects", "options", "deadline_ms"}
 
 
 def _is_row_id(value: object) -> bool:
@@ -73,6 +93,37 @@ def _valid_subject(item: object) -> bool:
     )
 
 
+class _Budget:
+    """One request's routing deadline: flat timeout or client budget.
+
+    ``budget_ms`` is the client's ``deadline_ms`` when that is what set
+    the deadline — its presence decides which pinned error exhaustion
+    raises (504 :class:`DeadlineExceededError`) versus the router's own
+    flat timeout (503 :class:`ShardUnavailableError`).
+    """
+
+    __slots__ = ("timeout", "budget_ms", "expires_at")
+
+    def __init__(self, timeout: float, budget_ms: "int | None" = None) -> None:
+        self.timeout = timeout
+        self.budget_ms = budget_ms
+        self.expires_at = time.monotonic() + timeout
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    def remaining_ms(self) -> int:
+        """The forwardable remainder (workers must see a valid budget)."""
+        return max(int(self.remaining() * 1000), 1)
+
+    def exhausted_error(self, shard: int) -> Exception:
+        if self.budget_ms is not None:
+            return DeadlineExceededError(self.budget_ms)
+        return ShardUnavailableError(
+            shard, f"request deadline ({self.timeout}s) exhausted"
+        )
+
+
 class ClusterRouter:
     """Scatter/gather dispatch over a :class:`Supervisor`'s workers."""
 
@@ -83,12 +134,22 @@ class ClusterRouter:
         replicas: int | None = None,
         request_timeout: float = 30.0,
         retry_interval: float = 0.05,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 0.5,
+        partial_patience: float = 1.0,
     ) -> None:
         self.supervisor = supervisor
         ring_args = {} if replicas is None else {"replicas": replicas}
         self.ring = HashRing(supervisor.shard_count, **ring_args)
         self.request_timeout = request_timeout
         self.retry_interval = retry_interval
+        self.partial_patience = partial_patience
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold, reset_timeout=breaker_reset
+            )
+            for _ in range(supervisor.shard_count)
+        ]
         self._rotation = itertools.count()
         self._pool = ThreadPoolExecutor(
             max_workers=max(8, supervisor.shard_count * 2),
@@ -101,51 +162,118 @@ class ClusterRouter:
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
-    def _deadline(self) -> float:
-        return time.monotonic() + self.request_timeout
+    def _budget(self, payload: Any) -> _Budget:
+        """The request's deadline: ``min(request_timeout, deadline_ms)``.
+
+        An *invalid* ``deadline_ms`` (wrong type, < 1) is deliberately
+        ignored here — the payload is forwarded untouched so a worker's
+        decoder produces the pinned 400, exactly as single-process would.
+        """
+        if isinstance(payload, dict):
+            raw = payload.get("deadline_ms")
+            if isinstance(raw, int) and not isinstance(raw, bool) and raw >= 1:
+                budget = raw / 1000.0
+                if budget <= self.request_timeout:
+                    return _Budget(budget, raw)
+        return _Budget(self.request_timeout)
+
+    def _forwarded(self, payload: Any, budget: _Budget) -> Any:
+        """*payload* with ``deadline_ms`` rewritten to the budget's
+        remainder — workers must enforce what is *left*, not what the
+        client originally asked this router for."""
+        if (
+            budget.budget_ms is None
+            or not isinstance(payload, dict)
+            or "deadline_ms" not in payload
+        ):
+            return payload
+        sub = dict(payload)
+        sub["deadline_ms"] = budget.remaining_ms()
+        return sub
 
     def _call(
-        self, shard: int, endpoint: str, payload: Any, deadline: float
+        self,
+        shard: int,
+        endpoint: str,
+        payload: Any,
+        budget: _Budget,
+        *,
+        patience: "float | None" = None,
     ) -> tuple[int, dict[str, Any]]:
-        """One shard, retried across restarts until the deadline."""
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise ShardUnavailableError(
-                    shard, f"request deadline ({self.request_timeout}s) exhausted"
-                )
-            try:
-                return self.supervisor.request(
-                    shard, endpoint, payload, timeout=remaining
-                )
-            except ShardUnavailableError:
-                if deadline - time.monotonic() <= self.retry_interval:
-                    raise
-                time.sleep(self.retry_interval)
+        """One shard, retried across restarts until the budget runs out.
 
-    def _call_any(
-        self, endpoint: str, payload: Any, deadline: float
-    ) -> tuple[int, dict[str, Any]]:
-        """Any healthy shard (rotated for balance), same deadline rules."""
-        count = self.supervisor.shard_count
+        The shard's circuit breaker paces the loop: while open, retries
+        wait on the clock instead of dialing the dead socket, and one
+        half-open probe per reset window tests for recovery.  *patience*
+        (degraded mode) bounds how long this call keeps waiting for an
+        unavailable shard, independent of the overall budget.
+        """
+        breaker = self._breakers[shard]
+        start = time.monotonic()
+        last: ShardUnavailableError | None = None
         while True:
-            start = next(self._rotation)
-            last: ShardUnavailableError | None = None
-            for offset in range(count):
-                shard = (start + offset) % count
+            remaining = budget.remaining()
+            if remaining <= 0:
+                raise budget.exhausted_error(shard)
+            if patience is not None and time.monotonic() - start >= patience:
+                raise last if last is not None else ShardUnavailableError(
+                    shard, f"no healthy worker within {patience}s (partial mode)"
+                )
+            if breaker.allow():
                 try:
-                    return self.supervisor.request(
+                    reply = self.supervisor.request(
                         shard,
                         endpoint,
-                        payload,
-                        timeout=max(deadline - time.monotonic(), 1e-3),
+                        self._forwarded(payload, budget),
+                        timeout=remaining,
                     )
                 except ShardUnavailableError as exc:
+                    breaker.record_failure()
                     last = exc
-            if deadline - time.monotonic() <= self.retry_interval:
-                assert last is not None
+                else:
+                    breaker.record_success()
+                    return reply
+            # pace the next attempt; the sleep is clamped to what remains
+            # of the budget (and patience) so the call fails *at* its
+            # deadline, never up to retry_interval past it
+            sleep = min(self.retry_interval, budget.remaining())
+            if patience is not None:
+                sleep = min(sleep, patience - (time.monotonic() - start))
+            if sleep > 0:
+                time.sleep(sleep)
+
+    def _call_any(
+        self, endpoint: str, payload: Any, budget: _Budget
+    ) -> tuple[int, dict[str, Any]]:
+        """Any healthy shard (rotated for balance), same budget rules."""
+        count = self.supervisor.shard_count
+        last: ShardUnavailableError | None = None
+        while True:
+            start = next(self._rotation)
+            for offset in range(count):
+                shard = (start + offset) % count
+                breaker = self._breakers[shard]
+                if not breaker.allow():
+                    continue
+                try:
+                    reply = self.supervisor.request(
+                        shard,
+                        endpoint,
+                        self._forwarded(payload, budget),
+                        timeout=max(budget.remaining(), 1e-3),
+                    )
+                except ShardUnavailableError as exc:
+                    breaker.record_failure()
+                    last = exc
+                else:
+                    breaker.record_success()
+                    return reply
+            remaining = budget.remaining()
+            if remaining <= 0:
+                if budget.budget_ms is not None or last is None:
+                    raise budget.exhausted_error(start % count)
                 raise last
-            time.sleep(self.retry_interval)
+            time.sleep(min(self.retry_interval, remaining))
 
     def _scatter(
         self, calls: list[Callable[[], tuple[int, dict[str, Any]]]]
@@ -159,7 +287,7 @@ class ClusterRouter:
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
-    def _size_l(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+    def _size_l(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
         shard = 0
         if (
             isinstance(payload, dict)
@@ -170,9 +298,9 @@ class ClusterRouter:
             shard = self.ring.owner(
                 payload["dataset"], payload["table"], payload["row_id"]
             )
-        return self._call(shard, "/v1/size-l", payload, deadline)
+        return self._call(shard, "/v1/size-l", payload, budget)
 
-    def _batch(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+    def _batch(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
         splittable = (
             isinstance(payload, dict)
             and set(payload) <= _BATCH_KEYS
@@ -183,7 +311,7 @@ class ClusterRouter:
         )
         if not splittable:
             # let a real dispatcher produce the pinned validation error
-            return self._call(0, "/v1/batch", payload, deadline)
+            return self._call(0, "/v1/batch", payload, budget)
         dataset = payload["dataset"]
         groups: dict[int, list[int]] = {}
         for index, (table, row_id) in enumerate(payload["subjects"]):
@@ -193,7 +321,7 @@ class ClusterRouter:
         def sub_payload(indices: list[int]) -> dict[str, Any]:
             sub = {
                 key: payload[key]
-                for key in ("protocol_version", "dataset", "options")
+                for key in ("protocol_version", "dataset", "options", "deadline_ms")
                 if key in payload
             }
             sub["subjects"] = [list(payload["subjects"][i]) for i in indices]
@@ -203,7 +331,7 @@ class ClusterRouter:
         replies = self._scatter(
             [
                 (lambda s=shard: self._call(
-                    s, "/v1/batch", sub_payload(groups[s]), deadline
+                    s, "/v1/batch", sub_payload(groups[s]), budget
                 ))
                 for shard in shards
             ]
@@ -225,7 +353,7 @@ class ClusterRouter:
             "results": entries,
         }
 
-    def _query(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+    def _query(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
         """The split keyword query: one match call, one batch per shard.
 
         The window arithmetic below (cursor verification, page slice,
@@ -233,7 +361,10 @@ class ClusterRouter:
         line — it must, or cursors would not round-trip between shard
         counts.
         """
-        status, found = self._call_any(MATCHES_ENDPOINT, payload, deadline)
+        allow_partial = (
+            isinstance(payload, dict) and payload.get("allow_partial") is True
+        )
+        status, found = self._call_any(MATCHES_ENDPOINT, payload, budget)
         if status != 200:
             return status, found
         matches = found["matches"]
@@ -268,23 +399,35 @@ class ClusterRouter:
             sub: dict[str, Any] = {"dataset": dataset}
             if isinstance(payload, dict) and "options" in payload:
                 sub["options"] = payload["options"]
+            if isinstance(payload, dict) and "deadline_ms" in payload:
+                sub["deadline_ms"] = payload["deadline_ms"]
             sub["subjects"] = [
                 [page[o]["table"], page[o]["row_id"]] for o in offsets
             ]
             return sub
 
+        def call_shard(shard: int) -> "tuple[int, dict[str, Any]] | None":
+            sub = sub_payload(groups[shard])
+            if not allow_partial:
+                return self._call(shard, "/v1/batch", sub, budget)
+            try:
+                return self._call(
+                    shard, "/v1/batch", sub, budget,
+                    patience=self.partial_patience,
+                )
+            except ShardUnavailableError:
+                return None  # degraded: this shard's entries are dropped
+
         shards = sorted(groups)
-        replies = self._scatter(
-            [
-                (lambda s=shard: self._call(
-                    s, "/v1/batch", sub_payload(groups[s]), deadline
-                ))
-                for shard in shards
-            ]
-        )
+        replies = self._scatter([(lambda s=shard: call_shard(s)) for shard in shards])
         entries: list[dict[str, Any] | None] = [None] * len(page)
         caches: list[dict[str, int]] = []
-        for shard, (batch_status, body) in zip(shards, replies):
+        missing: list[int] = []
+        for shard, reply in zip(shards, replies):
+            if reply is None or (allow_partial and reply[0] == 503):
+                missing.append(shard)
+                continue
+            batch_status, body = reply
             if batch_status != 200:
                 return batch_status, body
             for offset, entry in zip(groups[shard], body["results"]):
@@ -301,28 +444,50 @@ class ClusterRouter:
                 table=last["table"],
                 row_id=last["row_id"],
             ).encode()
-        return 200, {
+        body = {
             "protocol_version": PROTOCOL_VERSION,
             "dataset": dataset,
             "cache": CacheStats.merge(*caches).as_dict(),
             "keywords": found["keywords"],
-            "results": entries,
+            "results": [entry for entry in entries if entry is not None],
             "total_matches": found["total"],
             "next_cursor": next_cursor,
         }
+        # the marker appears only on actually-degraded answers, so healthy
+        # allow_partial responses stay byte-identical to normal ones
+        if missing:
+            body["degraded"] = True
+            body["missing_shards"] = sorted(missing)
+        return 200, body
 
-    def _stats(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
-        shards = range(self.supervisor.shard_count)
-        replies = self._scatter(
-            [
-                (lambda s=shard: self._call(s, "/v1/stats", payload, deadline))
-                for shard in shards
-            ]
+    def _stats(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
+        allow_partial = (
+            isinstance(payload, dict) and payload.get("allow_partial") is True
         )
-        for status, body in replies:
+        shards = range(self.supervisor.shard_count)
+
+        def call_shard(shard: int) -> "tuple[int, dict[str, Any]] | None":
+            if not allow_partial:
+                return self._call(shard, "/v1/stats", payload, budget)
+            try:
+                return self._call(
+                    shard, "/v1/stats", payload, budget,
+                    patience=self.partial_patience,
+                )
+            except ShardUnavailableError:
+                return None
+
+        replies = self._scatter([(lambda s=shard: call_shard(s)) for shard in shards])
+        missing = [shard for shard, reply in zip(shards, replies) if reply is None]
+        healthy = [reply for reply in replies if reply is not None]
+        if not healthy:
+            raise ShardUnavailableError(
+                missing[0], "no shard could answer the stats broadcast"
+            )
+        for status, body in healthy:
             if status != 200:
                 return status, body
-        bodies = [body for _status, body in replies]
+        bodies = [body for _status, body in healthy]
         merged = dict(bodies[0])
         if isinstance(payload, dict) and payload.get("dataset") is not None:
             merged["cache"] = CacheStats.merge(
@@ -340,9 +505,12 @@ class ClusterRouter:
             "shards": self.supervisor.shard_count,
             "ready": self.supervisor.ready_count(),
         }
+        if missing:
+            merged["degraded"] = True
+            merged["missing_shards"] = sorted(missing)
         return 200, merged
 
-    def _invalidate(self, payload: Any, deadline: float) -> tuple[int, dict[str, Any]]:
+    def _invalidate(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
         row_scoped = (
             isinstance(payload, dict)
             and set(payload) <= {"dataset", "table", "row_id"}
@@ -354,17 +522,21 @@ class ClusterRouter:
             shard = self.ring.owner(
                 payload["dataset"], payload["table"], payload["row_id"]
             )
-            return self._call(shard, "/v1/admin/invalidate", payload, deadline)
-        return self._broadcast("/v1/admin/invalidate", payload, deadline)
+            return self._call(shard, "/v1/admin/invalidate", payload, budget)
+        return self._broadcast("/v1/admin/invalidate", payload, budget)
 
     def _broadcast(
-        self, endpoint: str, payload: Any, deadline: float
+        self, endpoint: str, payload: Any, budget: _Budget
     ) -> tuple[int, dict[str, Any]]:
-        """Every shard must apply the mutation; first failure wins."""
+        """Every shard must apply the mutation; first failure wins.
+
+        Mutations never degrade: a partial invalidate/reload would leave
+        shards serving different generations of the same dataset.
+        """
         shards = range(self.supervisor.shard_count)
         replies = self._scatter(
             [
-                (lambda s=shard: self._call(s, endpoint, payload, deadline))
+                (lambda s=shard: self._call(s, endpoint, payload, budget))
                 for shard in shards
             ]
         )
@@ -384,21 +556,21 @@ class ClusterRouter:
         with self._inflight_lock:
             self._inflight += 1
         try:
-            deadline = self._deadline()
+            budget = self._budget(payload)
             if endpoint == "/v1/query":
-                return self._query(payload, deadline)
+                return self._query(payload, budget)
             if endpoint == "/v1/size-l":
-                return self._size_l(payload, deadline)
+                return self._size_l(payload, budget)
             if endpoint == "/v1/batch":
-                return self._batch(payload, deadline)
+                return self._batch(payload, budget)
             if endpoint == "/v1/datasets":
-                return self._call_any("/v1/datasets", payload, deadline)
+                return self._call_any("/v1/datasets", payload, budget)
             if endpoint == "/v1/stats":
-                return self._stats(payload, deadline)
+                return self._stats(payload, budget)
             if endpoint == "/v1/admin/invalidate":
-                return self._invalidate(payload, deadline)
+                return self._invalidate(payload, budget)
             if endpoint == "/v1/admin/reload":
-                return self._broadcast("/v1/admin/reload", payload, deadline)
+                return self._broadcast("/v1/admin/reload", payload, budget)
             exc = UnknownEndpointError(endpoint)
             return 404, encode_error(exc, 404)
         except ShardUnavailableError as exc:
@@ -413,8 +585,21 @@ class ClusterRouter:
                     self._inflight_zero.notify_all()
 
     def healthz(self) -> dict[str, Any]:
-        """Cluster liveness: the router is up; per-shard detail inside."""
+        """Cluster liveness: the router is up; per-shard detail inside.
+
+        Each shard reports a ``state``: ``ok`` (ready, breaker closed),
+        ``breaker_open`` (ready per the supervisor but the router's
+        breaker is holding traffic after consecutive transport failures),
+        or ``restarting`` (supervisor is respawning it).
+        """
         shards = self.supervisor.describe()
+        for info in shards:
+            if not info["ready"]:
+                info["state"] = "restarting"
+            elif self._breakers[info["shard"]].state != CLOSED:
+                info["state"] = "breaker_open"
+            else:
+                info["state"] = "ok"
         return {
             "ok": all(info["ready"] for info in shards),
             "role": "router",

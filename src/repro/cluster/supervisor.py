@@ -360,16 +360,23 @@ class Supervisor:
             with handle.lock:
                 handle.consecutive_failures = 0
 
+    def _backoff_delay(self, consecutive_failures: int) -> float:
+        """Restart delay after N consecutive failures: exponential from
+        ``backoff_base``, capped at ``backoff_cap``."""
+        if consecutive_failures <= 0:
+            return 0.0
+        return min(
+            self.backoff_base * (2 ** (consecutive_failures - 1)),
+            self.backoff_cap,
+        )
+
     def _note_failure(self, handle: _Handle) -> None:
         """Mark a shard down and arm the (bounded, exponential) backoff."""
         with handle.lock:
             handle.ready = False
             client, handle.client = handle.client, None
             handle.consecutive_failures += 1
-            delay = min(
-                self.backoff_base * (2 ** (handle.consecutive_failures - 1)),
-                self.backoff_cap,
-            )
+            delay = self._backoff_delay(handle.consecutive_failures)
             handle.not_before = time.monotonic() + delay
             handle.ping_strikes = 0
         if client is not None:

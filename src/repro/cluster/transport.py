@@ -24,6 +24,7 @@ import threading
 from typing import Any
 
 from repro.errors import ClusterError
+from repro.reliability import inject
 
 #: Frame header: payload byte length, 4-byte big-endian.
 _HEADER = struct.Struct(">I")
@@ -41,6 +42,7 @@ class TransportError(ClusterError):
 
 def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
     """Serialize and write one frame (raises :class:`TransportError`)."""
+    inject("transport.send", TransportError)
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise TransportError(
@@ -86,6 +88,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    inject("transport.recv", TransportError)
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None

@@ -45,9 +45,11 @@ from typing import Any
 from repro.core.options import ParallelConfig
 from repro.errors import ClusterError
 from repro.cluster.transport import TransportError, recv_frame, send_frame
+from repro.reliability import inject, install_from_env
+from repro.reliability.deadline import deadline_scope
 from repro.service.deployment import Deployment
 from repro.service.dispatch import ServiceDispatcher, status_for
-from repro.service.protocol import decode_query_request, encode_error
+from repro.service.protocol import decode_query_request, encode_error, request_deadline
 
 #: Cluster-internal endpoints (never mounted on the HTTP front end).
 PING_ENDPOINT = "cluster/ping"
@@ -231,12 +233,13 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         match list this response returns).
         """
         try:
-            defaults = self.dispatcher._session_defaults(payload)
-            request = decode_query_request(payload, defaults=defaults)
-            session = self.deployment.session(request.dataset)
-            matches = session.engine.search_matches(
-                list(request.keywords), request.options
-            )
+            with deadline_scope(request_deadline(payload)):
+                defaults = self.dispatcher._session_defaults(payload)
+                request = decode_query_request(payload, defaults=defaults)
+                session = self.deployment.session(request.dataset)
+                matches = session.engine.search_matches(
+                    list(request.keywords), request.options
+                )
         except Exception as exc:  # noqa: BLE001 - errors become status bodies
             status = status_for(exc, MATCHES_ENDPOINT)
             return status, encode_error(exc, status)
@@ -275,6 +278,9 @@ class WorkerServer(socketserver.ThreadingTCPServer):
 
 def run_worker(spec: WorkerSpec) -> int:
     """Build, bind, announce, serve — the whole worker lifecycle."""
+    # chaos plans ride the environment so respawned generations stay armed
+    install_from_env()
+    inject("worker.startup", ClusterError)
     deployment = build_deployment(spec)
     server = WorkerServer(spec, deployment)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult, validate_l
+from repro.reliability.deadline import CHECK_MASK, check_deadline
 from repro.util.heaps import KeyedMinHeap
 
 
@@ -51,6 +52,8 @@ def bottom_up_size_l(
     while len(alive) > l:
         uid, _score = heap.pop()
         dequeues += 1
+        if dequeues & CHECK_MASK == 0:
+            check_deadline()
         alive.discard(uid)
         parent = os_tree.node(uid).parent
         assert parent is not None  # the root is never pushed
@@ -96,6 +99,8 @@ def _bottom_up_size_l_flat(flat: FlatOS, l: int) -> SizeLResult:  # noqa: E741
     while alive_count > l:
         index, _score = heap.pop()
         dequeues += 1
+        if dequeues & CHECK_MASK == 0:
+            check_deadline()
         alive[index] = False
         alive_count -= 1
         p = parent[index]  # the root is never popped, so p >= 0

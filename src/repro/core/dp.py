@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.os_tree import FlatOS, ObjectSummary, SizeLResult, validate_l
+from repro.reliability.deadline import CHECK_MASK, check_deadline
 
 NEG_INF = float("-inf")
 
@@ -73,7 +74,9 @@ def optimal_size_l(
     eligible_children: dict[int, list] = {}
     cell_updates = 0
 
-    for node in reversed(eligible):
+    for visited, node in enumerate(reversed(eligible)):
+        if visited & CHECK_MASK == 0:
+            check_deadline()  # coarse: outer per-node loop only, never the merge
         cap = min(l - node.depth, sizes[node.uid])
         children = [c for c in node.children if c.uid in eligible_uids]
         eligible_children[node.uid] = children
@@ -190,6 +193,8 @@ def _optimal_size_l_flat(flat: FlatOS, l: int) -> SizeLResult:  # noqa: E741
     cell_updates = 0
 
     for i in range(n_el - 1, -1, -1):
+        if i & CHECK_MASK == 0:
+            check_deadline()  # coarse: outer per-node loop only, never the merge
         lo, hi = child_lo[i], child_hi[i]
         if lo == hi:  # leaf: cap is 1, no merge
             best[i] = [NEG_INF, weights[i]]

@@ -46,6 +46,7 @@ from repro.db.database import Database
 from repro.db.query import QueryInterface
 from repro.errors import SummaryError
 from repro.ranking.store import ImportanceStore, annotate_gds
+from repro.reliability.deadline import check_deadline
 from repro.schema_graph.gds import GDS
 from repro.search.inverted_index import BaseInvertedIndex
 from repro.search.keyword import DataSubjectMatch, KeywordSearcher
@@ -263,6 +264,7 @@ class SizeLEngine:
         self, rds_table: str, row_id: int, options: QueryOptions
     ) -> SizeLResult:
         """The generate+summarise pipeline under *options*."""
+        check_deadline()  # cancel before generation, the expensive half
         options = options.normalized()  # idempotent; catches typo'd sources
         algo_fn = get_algorithm(options.algorithm_name)
         # normalized() canonicalizes flat: True implies complete source,
@@ -291,6 +293,7 @@ class SizeLEngine:
             )
         gen_seconds = perf_counter() - gen_start
 
+        check_deadline()  # and again between generation and selection
         algo_start = perf_counter()
         result = algo_fn(os_tree, options.l)
         algo_seconds = perf_counter() - algo_start
@@ -348,6 +351,7 @@ class SizeLEngine:
         front half of the keyword pipeline — the serial loop below and the
         Session's parallel fan-out both start from it.
         """
+        check_deadline()
         matches = self.searcher.search(keywords)
         if options.max_results is not None:
             matches = matches[: options.max_results]

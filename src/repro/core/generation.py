@@ -29,6 +29,7 @@ from repro.db.database import Database
 from repro.db.query import QueryInterface
 from repro.errors import SummaryError
 from repro.ranking.store import ImportanceStore
+from repro.reliability.deadline import CHECK_MASK, check_deadline
 from repro.schema_graph.gds import GDS, GDSNode, JunctionJoin, RefJoin, ReverseJoin
 
 
@@ -236,6 +237,8 @@ def generate_os(
     while cursor < len(queue):
         node = queue[cursor]
         cursor += 1
+        if cursor & CHECK_MASK == 0:
+            check_deadline()
         if depth_limit is not None and node.depth >= depth_limit:
             continue
         for gds_child in node.gds.children:
@@ -341,6 +344,7 @@ def generate_os_flat(
     total = 1
     depth = 0
     while frontier_rows.size:
+        check_deadline()  # per BFS level: the vectorized loop's only checkpoint
         if depth_limit is not None and depth >= depth_limit:
             break
         keys: list[np.ndarray] = []

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.os_tree import FlatOS, ObjectSummary, OSNode, SizeLResult, validate_l
 from repro.errors import SummaryError
+from repro.reliability.deadline import check_deadline
 from repro.util.arrays import gather_ranges
 
 
@@ -138,6 +139,7 @@ def top_path_size_l(
     paths_selected = 0
 
     while len(selected) < l:
+        check_deadline()  # per selected path: each iteration scans all roots
         if not active:
             raise SummaryError("top-path ran out of candidate trees")  # pragma: no cover
         # Max AI over active roots; ties broken by smallest best-node uid.
@@ -293,6 +295,7 @@ def _top_path_size_l_flat(
     paths_selected = 0
 
     while len(selected) < l:
+        check_deadline()  # per selected path: each iteration scans all roots
         if not active:
             raise SummaryError("top-path ran out of candidate trees")  # pragma: no cover
         # Max AI over active roots; ties broken by smallest best-node index.

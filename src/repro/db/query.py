@@ -22,6 +22,8 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.db.database import Database
+from repro.errors import BackendIOError
+from repro.reliability import check_deadline, inject
 
 
 class QueryInterface:
@@ -48,7 +50,15 @@ class QueryInterface:
             self.rows_fetched = 0
 
     def count_io(self, rows_fetched: int = 0) -> None:
-        """Record one statement execution (thread-safe)."""
+        """Record one statement execution (thread-safe).
+
+        This is the backend-IO checkpoint: the paper's cost model bills
+        per statement, so "per statement" is also where an injected IO
+        fault surfaces (:class:`~repro.errors.BackendIOError`, 503) and
+        where an expired request deadline cancels the generation (504).
+        """
+        inject("db.io", BackendIOError)
+        check_deadline()
         with self._counter_lock:
             self.io_accesses += 1
             self.rows_fetched += rows_fetched

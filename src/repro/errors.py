@@ -107,8 +107,41 @@ class SnapshotMismatchError(PersistError):
     differs) — serving from it could silently return wrong trees."""
 
 
+class BackendIOError(ReproError):
+    """Raised when a backend IO operation fails transiently (a flaky disk,
+    a dropped DBMS connection, an injected fault).  The request was not
+    completed but left no partial state behind; transports map this to
+    503 — clients may safely retry."""
+
+
 class ServiceError(ReproError):
     """Raised for invalid service-layer operations (see :mod:`repro.service`)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's end-to-end time budget (``deadline_ms``)
+    expires before the work completes.  Transports map this to 504.
+
+    The message is deliberately a constant: the same budget blown on a
+    single-process server, inside a shard worker, or in the cluster
+    router must produce byte-identical error bodies, so nothing
+    process-specific (elapsed time, shard index, remaining budget) may
+    leak into it.  ``budget_ms`` stays available as an attribute for
+    in-process callers."""
+
+    def __init__(self, budget_ms: "int | None" = None) -> None:
+        super().__init__(
+            "request deadline exceeded before completion; the request was "
+            "cancelled and not fully served (safe to retry with a larger "
+            "budget)"
+        )
+        self.budget_ms = budget_ms
+
+
+class FaultInjectionError(ReproError):
+    """The default error an armed fault-injection site raises when its
+    :class:`~repro.reliability.FaultPlan` rule fires without a
+    site-specific exception factory (see :mod:`repro.reliability.faults`)."""
 
 
 class RequestValidationError(ServiceError):

@@ -50,6 +50,7 @@ from repro.datagraph.graph import DataGraph, FkAdjacency
 from repro.errors import SnapshotFormatError, SnapshotMismatchError
 from repro.persist.fingerprint import engine_fingerprint, store_digest
 from repro.ranking.store import ImportanceStore
+from repro.reliability import inject
 from repro.search.inverted_index import ArrayInvertedIndex
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -270,6 +271,7 @@ class Snapshot:
         clear error, instead of serving garbage trees later.  Skipping
         verification makes attach O(1) for snapshots on trusted storage.
         """
+        inject("snapshot.open", SnapshotFormatError)
         path = Path(path)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.is_file():
@@ -307,6 +309,7 @@ class Snapshot:
             # written after it is computed and protects itself via
             # manifest_checksum above).
             for filename, expected in manifest["checksums"].items():
+                inject("snapshot.checksum", SnapshotFormatError)
                 file_path = path / filename
                 if not file_path.is_file():
                     raise SnapshotFormatError(

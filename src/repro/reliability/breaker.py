@@ -1,0 +1,80 @@
+"""A per-dependency circuit breaker (closed → open → half-open).
+
+The cluster router keeps one :class:`CircuitBreaker` per shard.  While
+**closed**, calls flow.  After ``failure_threshold`` *consecutive*
+transport failures the breaker **opens**: callers stop dialing the dead
+shard (no connect timeouts, no socket churn) and pace themselves on the
+clock instead.  After ``reset_timeout`` seconds one caller is let
+through as the **half-open probe**; its success closes the breaker, its
+failure re-opens it for another window.
+
+This replaces nothing about *when* the router gives up — the request
+deadline still owns that — it only changes what retrying costs while a
+shard is down, and gives ``/v1/healthz`` a third shard state
+(``breaker_open``) between "ready" and "restarting".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker over consecutive failures."""
+
+    def __init__(
+        self, *, failure_threshold: int = 5, reset_timeout: float = 0.5
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In the open state, the first caller after ``reset_timeout`` gets
+        ``True`` and becomes the half-open probe; everyone else keeps
+        getting ``False`` until the probe reports back.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if time.monotonic() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+                    return True
+                return False
+            return False  # half-open: exactly one probe is already out
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = time.monotonic()

@@ -1,0 +1,262 @@
+"""Deterministic, seedable fault injection for every tier.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s plus a seed;
+installing it (:func:`install`) arms the named **injection sites** wired
+through the codebase:
+
+==================  ====================================================
+site                where it fires
+==================  ====================================================
+``db.io``           every counted backend IO in
+                    :meth:`repro.db.query.QueryInterface.count_io`
+``snapshot.open``   :meth:`repro.persist.snapshot.Snapshot.open` entry
+``snapshot.checksum``  each per-file checksum pass during snapshot verify
+``transport.send``  :func:`repro.cluster.transport.send_frame`
+``transport.recv``  :func:`repro.cluster.transport.recv_frame`
+``worker.startup``  :func:`repro.cluster.worker.run_worker` entry
+==================  ====================================================
+
+Each site calls :func:`inject` with its own exception factory, so an
+armed ``db.io`` raises :class:`~repro.errors.BackendIOError` (503),
+``transport.*`` raise :class:`~repro.cluster.transport.TransportError`
+(retried / 503), and ``snapshot.*`` raise
+:class:`~repro.errors.SnapshotFormatError` — faults always surface as
+the *pinned* error the real failure would, never as a new wire shape.
+
+Determinism: every site draws from its own ``random.Random`` seeded by
+``(plan.seed, site)``, so the fire/pass sequence at a site depends only
+on the plan and the number of prior evaluations at that site — not on
+thread interleaving across sites, wall clock, or hash randomization.
+
+The default state is **disarmed** and the hot-path cost of a disarmed
+site is one module-global read and a ``None`` check.  Worker
+subprocesses inherit a plan through the :data:`FAULT_PLAN_ENV`
+environment variable (the supervisor copies ``os.environ`` at
+construction, so exporting the plan before building a
+:class:`~repro.cluster.serve.Cluster` arms every worker it ever spawns,
+restarts included).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import FaultInjectionError, ReproError
+
+#: Environment variable carrying a JSON-encoded plan into subprocesses.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_KINDS = ("error", "delay")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's failure schedule.
+
+    ``probability`` is the per-evaluation fire chance; ``after`` skips
+    the first N evaluations (arm "the third IO fails"); ``max_fires``
+    bounds total fires (arm "fails exactly once").  ``kind="delay"``
+    sleeps ``delay_seconds`` instead of raising — the slow-IO /
+    slow-network half of the chaos vocabulary, which is what deadline
+    enforcement is tested against.
+    """
+
+    site: str
+    probability: float = 1.0
+    kind: str = "error"
+    delay_seconds: float = 0.0
+    max_fires: int | None = None
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise ReproError(f"fault rule needs a non-empty site name, got {self.site!r}")
+        if self.kind not in _KINDS:
+            raise ReproError(
+                f"fault rule kind must be one of {list(_KINDS)}, got {self.kind!r}"
+            )
+        if not 0.0 <= float(self.probability) <= 1.0:
+            raise ReproError(
+                f"fault rule probability must be in [0, 1], got {self.probability!r}"
+            )
+        if self.delay_seconds < 0:
+            raise ReproError(
+                f"fault rule delay_seconds must be >= 0, got {self.delay_seconds!r}"
+            )
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ReproError(
+                f"fault rule max_fires must be >= 1 or null, got {self.max_fires!r}"
+            )
+        if self.after < 0:
+            raise ReproError(f"fault rule after must be >= 0, got {self.after!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "probability": self.probability,
+            "kind": self.kind,
+            "delay_seconds": self.delay_seconds,
+            "max_fires": self.max_fires,
+            "after": self.after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultRule":
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ReproError(f"invalid fault rule {payload!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rules it drives — the unit tests and benchmarks
+    install, serialize into worker environments, and record in results."""
+
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0) -> None:
+        object.__setattr__(self, "rules", tuple(rules))
+        object.__setattr__(self, "seed", int(seed))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.as_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ReproError(f"fault plan must be a JSON object, got {payload!r}")
+        rules = payload.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise ReproError(f"fault plan rules must be a list, got {rules!r}")
+        return cls(
+            rules=[FaultRule.from_dict(rule) for rule in rules],
+            seed=payload.get("seed", 0),
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ReproError(f"undecodable fault plan JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+class FaultInjector:
+    """Evaluates a plan's rules site by site, deterministically.
+
+    Thread-safe: per-site RNG draws and counters are serialized under one
+    lock (injection sites are failure paths and test paths — never a
+    measured hot path while armed)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._rules_for: dict[str, list[FaultRule]] = {}
+        for rule in plan.rules:
+            self._rules_for.setdefault(rule.site, []).append(rule)
+        self._rngs: dict[str, random.Random] = {}
+        self._evals: dict[str, int] = {}
+        self._fires: dict[int, int] = {}  # id(rule) is stable: rules live in the plan
+
+    def evaluate(self, site: str) -> FaultRule | None:
+        """Count one evaluation at *site*; the rule that fires, if any."""
+        rules = self._rules_for.get(site)
+        if not rules:
+            return None
+        with self._lock:
+            count = self._evals.get(site, 0) + 1
+            self._evals[site] = count
+            rng = self._rngs.get(site)
+            if rng is None:
+                # a string seed is hashed deterministically by Random
+                # (unlike hash(), which is salted per process)
+                rng = self._rngs[site] = random.Random(f"{self.plan.seed}:{site}")
+            for rule in rules:
+                if count <= rule.after:
+                    continue
+                fired = self._fires.get(id(rule), 0)
+                if rule.max_fires is not None and fired >= rule.max_fires:
+                    continue
+                if rule.probability < 1.0 and rng.random() >= rule.probability:
+                    continue
+                self._fires[id(rule)] = fired + 1
+                return rule
+        return None
+
+    def fired(self, site: str | None = None) -> int:
+        """Total fires (across all rules, or one site's rules)."""
+        with self._lock:
+            if site is None:
+                return sum(self._fires.values())
+            return sum(
+                self._fires.get(id(rule), 0)
+                for rule in self._rules_for.get(site, [])
+            )
+
+
+#: The installed injector; ``None`` (the default) disarms every site.
+_active: FaultInjector | None = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Arm every site *plan* names; returns the live injector."""
+    global _active
+    _active = FaultInjector(plan)
+    return _active
+
+
+def uninstall() -> None:
+    """Disarm all sites (restores the zero-cost default)."""
+    global _active
+    _active = None
+
+
+def active() -> FaultInjector | None:
+    return _active
+
+
+def install_from_env(environ: "dict[str, str] | None" = None) -> FaultPlan | None:
+    """Arm the plan serialized in :data:`FAULT_PLAN_ENV`, if any.
+
+    Called at worker-process startup so a chaos run covers respawned
+    workers too, not just the generation alive when the plan landed.
+    """
+    raw = (os.environ if environ is None else environ).get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    plan = FaultPlan.from_json(raw)
+    install(plan)
+    return plan
+
+
+def inject(
+    site: str, exc_factory: "Callable[[str], BaseException] | None" = None
+) -> None:
+    """The per-site hook: no-op unless a plan is installed and fires.
+
+    *exc_factory* builds the site's native exception from a message, so
+    an armed site fails exactly the way the real fault would on the wire.
+    """
+    injector = _active
+    if injector is None:
+        return
+    rule = injector.evaluate(site)
+    if rule is None:
+        return
+    if rule.kind == "delay":
+        time.sleep(rule.delay_seconds)
+        return
+    message = f"injected fault at site {site!r}"
+    raise (exc_factory or FaultInjectionError)(message)

@@ -28,7 +28,19 @@ status  errors
 500     anything else, including a :class:`PersistError` outside reload
         (e.g. a corrupt snapshot path hit by a lazy first build) — a
         server-side problem, not a client error
+503     :class:`~repro.errors.BackendIOError` — a transient backend IO
+        failure; no partial state was left behind, retrying is safe
+        (the cluster router's :class:`~repro.errors.ShardUnavailableError`
+        maps here too)
+504     :class:`~repro.errors.DeadlineExceededError` — the request's
+        ``deadline_ms`` budget expired mid-flight and the work was
+        cancelled; the body is pinned and identical on every topology
 ======  =================================================================
+
+Deadlines: a request carrying ``deadline_ms`` (or the HTTP
+``X-Repro-Deadline-Ms`` header) runs inside a
+:func:`~repro.reliability.deadline.deadline_scope` — generation loops,
+selection kernels, and backend IO all checkpoint against it.
 """
 
 from __future__ import annotations
@@ -37,11 +49,14 @@ from typing import Any
 
 from repro.core.options import QueryOptions
 from repro.errors import (
+    BackendIOError,
+    DeadlineExceededError,
     PersistError,
     ReproError,
     RequestValidationError,
     UnknownDatasetError,
 )
+from repro.reliability.deadline import deadline_scope
 from repro.service.deployment import Deployment
 from repro.service.protocol import (
     BatchRequest,
@@ -56,6 +71,7 @@ from repro.service.protocol import (
     decode_size_l_request,
     encode_error,
     encode_response,
+    request_deadline,
     result_entry,
 )
 
@@ -73,6 +89,12 @@ ENDPOINTS = (
 
 def status_for(exc: BaseException, endpoint: str | None = None) -> int:
     """The pinned HTTP status of a dispatch failure on *endpoint*."""
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, BackendIOError):
+        # transient server-side IO: the request left no partial state —
+        # 503 tells clients to retry, unlike the 500 bug bucket
+        return 503
     if isinstance(exc, UnknownDatasetError):
         return 404
     if isinstance(exc, PersistError):
@@ -237,7 +259,16 @@ class ServiceDispatcher:
         """Handle one request by endpoint path; raises on failure.
 
         (:meth:`dispatch_safe` is the catching variant transports use.)
+        A ``deadline_ms`` field arms the request's end-to-end budget for
+        the whole dispatch — decode, search, generation, selection.
         """
+        deadline = request_deadline(payload)
+        if deadline is None:
+            return self._dispatch(endpoint, payload)
+        with deadline_scope(deadline):
+            return self._dispatch(endpoint, payload)
+
+    def _dispatch(self, endpoint: str, payload: object = None) -> dict[str, Any]:
         if endpoint == "/v1/query":
             request = decode_query_request(
                 payload, defaults=self._session_defaults(payload)

@@ -21,8 +21,18 @@ Every response is JSON.  Failures use the pinned error body
 (:func:`~repro.service.protocol.encode_error`) and status codes
 (:func:`~repro.service.dispatch.status_for`): 400 validation, 404 unknown
 dataset/endpoint, 405 wrong method, 409 rejected snapshot reload, 500
-bugs.  A failed request — including a mismatched ``/v1/admin/reload`` —
-never takes the server down.
+bugs, 503 transient unavailability (with a ``Retry-After`` header when a
+shard is down — the request was not served and retrying is safe), 504
+deadline exhaustion.  A failed request — including a mismatched
+``/v1/admin/reload`` — never takes the server down.
+
+Reliability hooks:
+
+* an ``X-Repro-Deadline-Ms`` header on any POST sets the request's
+  end-to-end budget (equivalent to a ``deadline_ms`` body field, which
+  wins when both are present);
+* ``GET /v1/stats?allow_partial=1`` opts into a degraded partial merge
+  when the deployment is a cluster with unavailable shards.
 """
 
 from __future__ import annotations
@@ -41,6 +51,9 @@ from repro.errors import RequestValidationError, ServiceError
 #: Request bodies above this are rejected up front (64 MiB — far above any
 #: legitimate batch, small enough to keep a stray client from ballooning RSS).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: POST header carrying the end-to-end budget (milliseconds, >= 1).
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 _GET_ENDPOINTS = ("/v1/datasets", "/v1/stats", "/v1/healthz")
 _POST_ENDPOINTS = (
@@ -63,13 +76,34 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        extra_headers: "dict[str, str] | None" = None,
+    ) -> None:
         payload = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
+
+    def _send_dispatch(self, status: int, body: dict[str, Any]) -> None:
+        """Send a dispatcher reply, decorating transient failures.
+
+        A 503 whose body is the pinned ``ShardUnavailableError`` means
+        the request was never served (a shard is down or restarting) —
+        exactly the case HTTP's ``Retry-After`` exists for.
+        """
+        extra = None
+        if status == 503 and isinstance(body, dict):
+            error = body.get("error")
+            if isinstance(error, dict) and error.get("type") == "ShardUnavailableError":
+                extra = {"Retry-After": "1"}
+        self._send_json(status, body, extra)
 
     def _read_body(self) -> object:
         raw_length = self.headers.get("Content-Length") or "0"
@@ -107,10 +141,16 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(split.query)
         if "dataset" in query:
             payload = {"dataset": query["dataset"][0]}
+        if split.path == "/v1/stats" and query.get("allow_partial", [""])[0] in (
+            "1",
+            "true",
+        ):
+            payload = dict(payload or {})
+            payload["allow_partial"] = True
         # unknown paths flow through dispatch_safe too, so the 404 body
         # carries the same UnknownEndpointError type every transport uses
         status, body = self.server.dispatcher.dispatch_safe(split.path, payload)
-        self._send_json(status, body)
+        self._send_dispatch(status, body)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
         split = urlsplit(self.path)
@@ -122,8 +162,27 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestValidationError as exc:
             self._send_json(400, encode_error(exc, 400))
             return
+        raw_deadline = self.headers.get(DEADLINE_HEADER)
+        if raw_deadline is not None:
+            try:
+                deadline_ms = int(raw_deadline.strip())
+                if deadline_ms < 1:
+                    raise ValueError
+            except ValueError:
+                exc = RequestValidationError(
+                    f"invalid {DEADLINE_HEADER} header {raw_deadline!r}: "
+                    "expected an integer millisecond budget >= 1"
+                )
+                self._send_json(400, encode_error(exc, 400))
+                return
+            # the body field wins when both are present (it is the wire
+            # protocol's native spelling; the header is sugar for clients
+            # that cannot touch the body)
+            if isinstance(payload, dict) and "deadline_ms" not in payload:
+                payload = dict(payload)
+                payload["deadline_ms"] = deadline_ms
         status, body = self.server.dispatcher.dispatch_safe(split.path, payload)
-        self._send_json(status, body)
+        self._send_dispatch(status, body)
 
     def _method_not_allowed(self, allowed: str) -> None:
         body = encode_error(

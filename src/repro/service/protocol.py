@@ -30,6 +30,7 @@ from typing import Any, Mapping
 
 from repro.core.options import ParallelConfig, QueryOptions, ResultStats
 from repro.errors import RequestValidationError, SummaryError
+from repro.reliability.deadline import Deadline
 
 #: Version of the request/response shapes defined in this module.
 PROTOCOL_VERSION = 1
@@ -203,13 +204,24 @@ class Cursor:
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class QueryRequest:
-    """One keyword query (optionally one *page* of one)."""
+    """One keyword query (optionally one *page* of one).
+
+    ``deadline_ms`` is the request's end-to-end time budget (expiry is
+    the pinned 504, :class:`~repro.errors.DeadlineExceededError`);
+    ``allow_partial`` opts into degraded cluster answers — results from
+    healthy shards plus ``degraded: true`` and the missing-shard list
+    instead of a 503.  Both are no-ops on a single-process deployment's
+    healthy path, so opted-in requests stay byte-compatible across
+    topologies.
+    """
 
     dataset: str
     keywords: tuple[str, ...]
     options: QueryOptions
     cursor: Cursor | None = None
     page_size: int | None = None
+    deadline_ms: int | None = None
+    allow_partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -220,6 +232,7 @@ class SizeLRequest:
     table: str
     row_id: int
     options: QueryOptions
+    deadline_ms: int | None = None
 
 
 @dataclass(frozen=True)
@@ -229,6 +242,7 @@ class BatchRequest:
     dataset: str
     subjects: tuple[tuple[str, int], ...]
     options: QueryOptions
+    deadline_ms: int | None = None
 
 
 _QUERY_FIELDS = (
@@ -238,9 +252,35 @@ _QUERY_FIELDS = (
     "options",
     "cursor",
     "page_size",
+    "deadline_ms",
+    "allow_partial",
 )
-_SIZE_L_FIELDS = ("protocol_version", "dataset", "table", "row_id", "options")
-_BATCH_FIELDS = ("protocol_version", "dataset", "subjects", "options")
+_SIZE_L_FIELDS = (
+    "protocol_version", "dataset", "table", "row_id", "options", "deadline_ms",
+)
+_BATCH_FIELDS = ("protocol_version", "dataset", "subjects", "options", "deadline_ms")
+
+
+def _decode_deadline_ms(payload: dict[str, Any]) -> int | None:
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    return _int_field(deadline_ms, "deadline_ms", minimum=1)
+
+
+def request_deadline(payload: object) -> Deadline | None:
+    """The :class:`~repro.reliability.Deadline` a wire payload asks for.
+
+    Transports call this *before* dispatching so the budget clock starts
+    at request admission (decode and validation time count against it).
+    An invalid ``deadline_ms`` raises the pinned 400 here — the request
+    decoders re-validate identically, but a deadline must be enforceable
+    on endpoints (stats, admin) that have no typed decoder.
+    """
+    if not isinstance(payload, Mapping):
+        return None
+    deadline_ms = _decode_deadline_ms(dict(payload))
+    return None if deadline_ms is None else Deadline(deadline_ms)
 
 
 def _decode_dataset(payload: dict[str, Any], what: str) -> str:
@@ -276,12 +316,19 @@ def decode_query_request(
     page_size = payload.get("page_size")
     if page_size is not None:
         page_size = _int_field(page_size, "page_size", minimum=1)
+    allow_partial = payload.get("allow_partial", False)
+    if not isinstance(allow_partial, bool):
+        raise RequestValidationError(
+            f"field 'allow_partial' must be a boolean, got {allow_partial!r}"
+        )
     return QueryRequest(
         dataset=dataset,
         keywords=keywords,
         options=decode_options(payload.get("options"), defaults=defaults),
         cursor=None if cursor is None else Cursor.decode(cursor),
         page_size=page_size,
+        deadline_ms=_decode_deadline_ms(payload),
+        allow_partial=allow_partial,
     )
 
 
@@ -299,6 +346,7 @@ def decode_size_l_request(
         table=table,
         row_id=_int_field(_require(payload, "row_id", "size-l request"), "row_id"),
         options=decode_options(payload.get("options"), defaults=defaults),
+        deadline_ms=_decode_deadline_ms(payload),
     )
 
 
@@ -336,6 +384,7 @@ def decode_batch_request(
         dataset=_decode_dataset(payload, "batch request"),
         subjects=tuple(subjects),
         options=decode_options(payload.get("options"), defaults=defaults),
+        deadline_ms=_decode_deadline_ms(payload),
     )
 
 
@@ -366,12 +415,16 @@ def encode_request(request: QueryRequest | SizeLRequest | BatchRequest) -> dict[
         "dataset": request.dataset,
         "options": request.options.as_dict(),
     }
+    if getattr(request, "deadline_ms", None) is not None:
+        body["deadline_ms"] = request.deadline_ms
     if isinstance(request, QueryRequest):
         body["keywords"] = list(request.keywords)
         if request.cursor is not None:
             body["cursor"] = request.cursor.encode()
         if request.page_size is not None:
             body["page_size"] = request.page_size
+        if request.allow_partial:
+            body["allow_partial"] = True
     elif isinstance(request, SizeLRequest):
         body["table"] = request.table
         body["row_id"] = request.row_id
@@ -472,6 +525,10 @@ class QueryResponse:
     total_matches: int
     next_cursor: Cursor | None
     cache: dict[str, int] = field(default_factory=dict)
+    #: Degraded-mode marker (cluster only): ``True`` means some shards
+    #: were unavailable and their entries are missing from ``results``.
+    degraded: bool = False
+    missing_shards: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -504,6 +561,11 @@ def encode_response(
         body["next_cursor"] = (
             None if response.next_cursor is None else response.next_cursor.encode()
         )
+        # only degraded answers carry the marker: healthy bodies must stay
+        # byte-identical to pre-reliability servers (and across topologies)
+        if response.degraded:
+            body["degraded"] = True
+            body["missing_shards"] = list(response.missing_shards)
     elif isinstance(response, SizeLResponse):
         body["result"] = response.result.as_dict()
     elif isinstance(response, BatchResponse):
@@ -560,6 +622,8 @@ def decode_query_response(payload: object) -> QueryResponse:
             "total_matches",
             "next_cursor",
             "cache",
+            "degraded",
+            "missing_shards",
         ),
         "query response",
     )
@@ -574,6 +638,8 @@ def decode_query_response(payload: object) -> QueryResponse:
         total_matches=_require(payload, "total_matches", "query response"),
         next_cursor=None if cursor is None else Cursor.decode(cursor),
         cache=dict(payload.get("cache", {})),
+        degraded=bool(payload.get("degraded", False)),
+        missing_shards=tuple(payload.get("missing_shards", ())),
     )
 
 

@@ -41,6 +41,7 @@ from repro.core.options import ParallelConfig, QueryOptions, resolve_options
 from repro.core.os_tree import ObjectSummary, SizeLResult
 from repro.core.prelim import PrelimStats
 from repro.ranking.store import ImportanceStore
+from repro.reliability.deadline import bind_deadline, current_deadline
 
 
 class Session:
@@ -233,7 +234,12 @@ class Session:
         on this thread and the returned future carries its outcome, so a
         mid-stream ``iter_keyword_query`` consumer sees every result
         rather than a ``RuntimeError``.
+
+        The submitting thread's request deadline (if any) is re-installed
+        around the task: pool threads are long-lived and shared across
+        requests, so the budget must travel with the work, not the thread.
         """
+        fn = bind_deadline(fn, current_deadline())
         with self._pool_lock:
             if self._pool is None or self._pool_workers < workers:
                 old = self._pool
