@@ -167,6 +167,92 @@ def bench_dispatch(session: Session, stream: list[str]) -> dict:
     }
 
 
+def bench_middleware(session: Session, stream: list[str]) -> dict:
+    """Per-warm-request cost of the PR-8 pipeline, disarmed and armed.
+
+    Three passes over the same warm stream: the bare dispatcher, the
+    disarmed pipeline (context + metrics only — the default ``repro
+    serve`` stack), and a fully armed stack (token auth + rate limiter +
+    concurrency quota + access log to ``/dev/null``).  The deltas are the
+    microseconds every request pays for each tier; the gate regresses the
+    within-run ratios so runner noise cancels out.
+    """
+    from repro.service import MiddlewareConfig, RequestContext, build_pipeline
+
+    deployment = Deployment().add_session("dblp", session)
+    dispatcher = ServiceDispatcher(deployment)
+    options = QueryOptions(l=SIZE_L)
+    wire_options = options.normalized().as_dict()
+    for keywords in set(stream):
+        session.keyword_query(keywords, options=options)
+    payloads = [
+        {"dataset": "dblp", "keywords": [kw], "options": wire_options}
+        for kw in stream
+    ]
+
+    def timed(run) -> tuple[float, list]:
+        return min((run() for _ in range(REPEATS)), key=lambda pair: pair[0])
+
+    def run_raw() -> tuple[float, list]:
+        start = time.perf_counter()
+        outcomes = [
+            _wire_keys(dispatcher.dispatch_safe("/v1/query", p)[1])
+            for p in payloads
+        ]
+        return time.perf_counter() - start, outcomes
+
+    with tempfile.TemporaryDirectory() as tmp:
+        token_file = Path(tmp) / "tokens"
+        token_file.write_text("bench:bench-token\n", encoding="utf-8")
+        disarmed = build_pipeline(dispatcher, None)
+        with open(os.devnull, "w", encoding="utf-8") as sink:
+            armed = build_pipeline(
+                dispatcher,
+                MiddlewareConfig(
+                    auth_token_file=token_file,
+                    rate_limit=1e9,
+                    max_concurrent=1_000_000,
+                    access_log=sink,
+                ),
+            )
+
+            def run_disarmed() -> tuple[float, list]:
+                start = time.perf_counter()
+                outcomes = [
+                    _wire_keys(disarmed.dispatch_safe("/v1/query", p)[1])
+                    for p in payloads
+                ]
+                return time.perf_counter() - start, outcomes
+
+            def run_armed() -> tuple[float, list]:
+                start = time.perf_counter()
+                outcomes = []
+                for p in payloads:
+                    ctx = RequestContext(
+                        credential="bench-token", client="bench"
+                    )
+                    _status, body = armed.handle(ctx, "/v1/query", p)
+                    outcomes.append(_wire_keys(body))
+                return time.perf_counter() - start, outcomes
+
+            raw_seconds, raw_results = timed(run_raw)
+            disarmed_seconds, disarmed_results = timed(run_disarmed)
+            armed_seconds, armed_results = timed(run_armed)
+
+    n = len(payloads)
+    return {
+        "n_requests": n,
+        "raw_us_per_request": raw_seconds / n * 1e6,
+        "disarmed_us_per_request": disarmed_seconds / n * 1e6,
+        "armed_us_per_request": armed_seconds / n * 1e6,
+        "disarmed_overhead_us": (disarmed_seconds - raw_seconds) / n * 1e6,
+        "armed_overhead_us": (armed_seconds - raw_seconds) / n * 1e6,
+        "disarmed_ratio": disarmed_seconds / raw_seconds,
+        "armed_ratio": armed_seconds / raw_seconds,
+        "identical_results": raw_results == disarmed_results == armed_results,
+    }
+
+
 def bench_codec(rounds: int) -> dict:
     """decode(encode(request)) round-trips per second (no engine)."""
     request = QueryRequest(
@@ -270,6 +356,7 @@ def run_mode(quick: bool) -> dict:
     session = workload["session"]
 
     dispatch = bench_dispatch(session, workload["stream"])
+    middleware = bench_middleware(session, workload["stream"])
     codec = bench_codec(2_000 if quick else 20_000)
     smoke = bench_http_smoke(quick)
 
@@ -279,6 +366,14 @@ def run_mode(quick: bool) -> dict:
         f"(overhead {dispatch['overhead_us_per_request']:.0f}us, "
         f"ratio {dispatch['overhead_ratio']:.2f}x); identical results: "
         f"{'OK' if dispatch['identical_results'] else 'MISMATCH'}"
+    )
+    print(
+        f"  middleware: raw {middleware['raw_us_per_request']:.0f}us, "
+        f"disarmed +{middleware['disarmed_overhead_us']:.0f}us "
+        f"({middleware['disarmed_ratio']:.2f}x), "
+        f"armed +{middleware['armed_overhead_us']:.0f}us "
+        f"({middleware['armed_ratio']:.2f}x); identical results: "
+        f"{'OK' if middleware['identical_results'] else 'MISMATCH'}"
     )
     print(
         f"  codec: {codec['roundtrips_per_second']:.0f} request "
@@ -293,10 +388,12 @@ def run_mode(quick: bool) -> dict:
         "fixture": workload["fixture"],
         "workload": workload["workload"],
         "dispatch": dispatch,
+        "middleware": middleware,
         "codec": codec,
         "http_smoke": smoke,
         "verified": {
             "identical_results": dispatch["identical_results"],
+            "middleware_identical_results": middleware["identical_results"],
             "codec_identity": codec["identity"],
             "paged_equals_unpaged": smoke["paged_equals_unpaged"],
             "paged_across_requests": smoke["requests"] >= 2,
@@ -305,7 +402,14 @@ def run_mode(quick: bool) -> dict:
 
 
 def check_regression(baseline_path: Path, mode: str, result: dict) -> int:
-    """Fail when the serve-path overhead ratio doubled vs the baseline."""
+    """Fail when the serve-path or middleware overhead regressed.
+
+    The dispatch gate keeps its historical shape (ratio may at most
+    double).  The middleware gates are absolute-slack ratios: the stack's
+    share of a warm request may grow by at most half a raw request over
+    the committed baseline — tight enough to catch a real per-request
+    regression, loose enough for shared-runner noise.
+    """
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     try:
         committed = baseline["modes"][mode]["dispatch"]["overhead_ratio"]
@@ -319,7 +423,24 @@ def check_regression(baseline_path: Path, mode: str, result: dict) -> int:
         f"CHECK [{mode}]: service/direct overhead ratio {current:.2f}x vs "
         f"committed {committed:.2f}x (ceiling {ceiling:.2f}x) -> {verdict}"
     )
-    return 0 if current <= ceiling else 1
+    failed = current > ceiling
+
+    committed_mw = baseline["modes"][mode].get("middleware")
+    if committed_mw is None:
+        print(f"CHECK [{mode}]: no middleware baseline committed yet -> SKIPPED")
+    else:
+        for tier in ("disarmed", "armed"):
+            key = f"{tier}_ratio"
+            mw_ceiling = committed_mw[key] + 0.5
+            mw_current = result["middleware"][key]
+            mw_verdict = "OK" if mw_current <= mw_ceiling else "REGRESSION"
+            print(
+                f"CHECK [{mode}]: middleware {tier} ratio {mw_current:.2f}x vs "
+                f"committed {committed_mw[key]:.2f}x "
+                f"(ceiling {mw_ceiling:.2f}x) -> {mw_verdict}"
+            )
+            failed = failed or mw_current > mw_ceiling
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

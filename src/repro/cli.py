@@ -53,7 +53,7 @@ from repro.core.analysis import nesting_profile, optimal_family, stability_profi
 from repro.core.builder import NAMED_DATASETS, EngineBuilder
 from repro.core.options import ParallelConfig, QueryOptions
 from repro.core.registry import algorithm_names, backend_names
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.session import Session
 
 #: Pinned exit codes (asserted by tests/test_cli.py).
@@ -159,6 +159,32 @@ def _serve_loop(server: object, args: argparse.Namespace, banner: str) -> int:
     return EXIT_OK
 
 
+def _middleware_config(args: argparse.Namespace) -> "object | None":
+    """The serve flags as one :class:`MiddlewareConfig` (None = disarmed).
+
+    Both topologies build their pipeline from this same object, so
+    ``--shards 1`` and ``--shards 8`` enforce identical policy at their
+    edge.
+    """
+    from repro.service.middleware import MiddlewareConfig
+
+    if (
+        args.auth_token_file is None
+        and args.rate_limit is None
+        and args.rate_burst is None
+        and args.max_concurrent is None
+        and args.access_log is None
+    ):
+        return None
+    return MiddlewareConfig(
+        auth_token_file=args.auth_token_file,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_concurrent=args.max_concurrent,
+        access_log=None if args.access_log is None else str(args.access_log),
+    )
+
+
 def _serve_cluster(args: argparse.Namespace) -> int:
     """``repro serve --shards N``: the multi-process cluster path."""
     from repro.cluster import Cluster, DatasetSpec
@@ -171,19 +197,32 @@ def _serve_cluster(args: argparse.Namespace) -> int:
         snapshot=None if args.snapshot is None else str(args.snapshot),
         verify=not args.no_verify,
     )
+    # hop access-log lines go to the same file as the edge's (atomic
+    # appends, stamped with the shard); stderr-mode edge logs keep hop
+    # logging off — N workers interleaving one terminal helps no one
+    hop_log = ""
+    if args.access_log is not None and str(args.access_log) != "-":
+        hop_log = str(args.access_log)
     cluster = Cluster(
         [spec],
         args.shards,
         cache_size=args.cache_size,
         workers=args.workers,
         ordered=not args.unordered,
+        access_log=hop_log,
     )
     cluster.start()
     try:
         try:
             server = cluster.create_http_server(
-                host=args.host, port=args.port, verbose=args.verbose
+                host=args.host,
+                port=args.port,
+                verbose=args.verbose,
+                middleware=_middleware_config(args),
             )
+        except ServiceError as exc:  # bad middleware config (e.g. token file)
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
         except OSError as exc:
             print(
                 f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
@@ -227,8 +266,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     deployment = Deployment().add_session(args.database, session)
     try:
         server = create_server(
-            deployment, host=args.host, port=args.port, verbose=args.verbose
+            deployment,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            middleware=_middleware_config(args),
         )
+    except ServiceError as exc:  # bad middleware config (e.g. token file)
+        print(f"error: {exc}", file=sys.stderr)
+        deployment.close()
+        return EXIT_ERROR
     except OSError as exc:
         # busy port, privileged port, unresolvable host: a usage error
         # (exit 2), not a bare traceback — and never exit 1, which the
@@ -472,6 +519,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the bound URL to PATH once listening (smoke tests)",
+    )
+    serve.add_argument(
+        "--auth-token-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="require 'Authorization: Bearer <token>' matching a line of "
+        "PATH ('principal:token' or bare token per line); rejects with "
+        "the pinned 401 (default: no authentication)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-client token-bucket admission rate in requests/second; "
+        "over-rate requests get the pinned 429 with Retry-After "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="token-bucket capacity (default: 2x the ceiled --rate-limit)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-client in-flight request cap; excess requests get the "
+        "pinned 429 (default: unlimited)",
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per request to PATH ('-' = stderr); "
+        "with --shards N, workers also append per-hop lines stamped "
+        "with their shard (default: off)",
     )
     serve.set_defaults(func=_cmd_serve)
 

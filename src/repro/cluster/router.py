@@ -68,6 +68,7 @@ from repro.errors import (
 )
 from repro.reliability.breaker import CLOSED, CircuitBreaker
 from repro.service.dispatch import ENDPOINTS, UnknownEndpointError, status_for
+from repro.service.middleware.context import current_context
 from repro.service.protocol import (
     MAX_BATCH_SUBJECTS,
     PROTOCOL_VERSION,
@@ -100,14 +101,20 @@ class _Budget:
     the deadline — its presence decides which pinned error exhaustion
     raises (504 :class:`DeadlineExceededError`) versus the router's own
     flat timeout (503 :class:`ShardUnavailableError`).
+
+    ``ctx`` is the edge request's wire identity (request id, principal),
+    captured once at ``dispatch_safe`` — scatter calls run on pool
+    threads, where the edge's thread-local context is invisible, so the
+    budget object is what carries it to every sub-request.
     """
 
-    __slots__ = ("timeout", "budget_ms", "expires_at")
+    __slots__ = ("timeout", "budget_ms", "expires_at", "ctx")
 
     def __init__(self, timeout: float, budget_ms: "int | None" = None) -> None:
         self.timeout = timeout
         self.budget_ms = budget_ms
         self.expires_at = time.monotonic() + timeout
+        self.ctx: "dict[str, Any] | None" = None
 
     def remaining(self) -> float:
         return self.expires_at - time.monotonic()
@@ -226,6 +233,7 @@ class ClusterRouter:
                         endpoint,
                         self._forwarded(payload, budget),
                         timeout=remaining,
+                        ctx=budget.ctx,
                     )
                 except ShardUnavailableError as exc:
                     breaker.record_failure()
@@ -261,6 +269,7 @@ class ClusterRouter:
                         endpoint,
                         self._forwarded(payload, budget),
                         timeout=max(budget.remaining(), 1e-3),
+                        ctx=budget.ctx,
                     )
                 except ShardUnavailableError as exc:
                     breaker.record_failure()
@@ -557,6 +566,11 @@ class ClusterRouter:
             self._inflight += 1
         try:
             budget = self._budget(payload)
+            # capture the edge context here, on the edge thread — scatter
+            # work runs on pool threads where the thread-local is unset
+            edge_ctx = current_context()
+            if edge_ctx is not None:
+                budget.ctx = edge_ctx.wire_identity()
             if endpoint == "/v1/query":
                 return self._query(payload, budget)
             if endpoint == "/v1/size-l":
@@ -583,6 +597,34 @@ class ClusterRouter:
                 self._inflight -= 1
                 if self._inflight == 0:
                     self._inflight_zero.notify_all()
+
+    def cache_stats_by_dataset(self) -> "dict[str, CacheStats]":
+        """Typed per-dataset cache counters, merged across shards.
+
+        The metrics endpoint's hook: each shard answers its non-building
+        aggregate ``/v1/stats`` under a short flat timeout, unavailable
+        shards are skipped (a scrape must not block on a restarting
+        worker), and each dataset's counters merge via
+        :meth:`CacheStats.merge`.  Datasets no shard has built yet simply
+        do not appear.
+        """
+        per_dataset: dict[str, list[dict[str, int]]] = {}
+        for shard in range(self.supervisor.shard_count):
+            try:
+                status, body = self.supervisor.request(
+                    shard, "/v1/stats", None, timeout=self.partial_patience
+                )
+            except ShardUnavailableError:
+                continue
+            if status != 200 or not isinstance(body, dict):
+                continue
+            for name, info in body.items():
+                if isinstance(info, dict) and isinstance(info.get("cache"), dict):
+                    per_dataset.setdefault(name, []).append(info["cache"])
+        return {
+            name: CacheStats.merge(*counters)
+            for name, counters in sorted(per_dataset.items())
+        }
 
     def healthz(self) -> dict[str, Any]:
         """Cluster liveness: the router is up; per-shard detail inside.

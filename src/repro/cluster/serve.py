@@ -48,6 +48,7 @@ class Cluster:
         backoff_base: float = 0.25,
         backoff_cap: float = 5.0,
         run_dir: "str | Path | None" = None,
+        access_log: str = "",
     ) -> None:
         if shards < 1:
             raise ClusterError(f"a cluster needs at least one shard, got {shards}")
@@ -65,6 +66,9 @@ class Cluster:
                 cache_size=cache_size,
                 workers=workers,
                 ordered=ordered,
+                # workers append hop lines (stamped with their shard) to the
+                # same file the edge logs to; "" keeps hop logging off
+                access_log=access_log,
             )
             for index in range(shards)
         ]
@@ -87,13 +91,22 @@ class Cluster:
         return self
 
     def create_http_server(
-        self, *, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        middleware: Any = None,
     ) -> ServiceHTTPServer:
         """An HTTP front end over the router (bind only, like
-        :func:`repro.service.http.create_server`)."""
+        :func:`repro.service.http.create_server`).  *middleware* is a
+        :class:`~repro.service.middleware.MiddlewareConfig` or pre-built
+        pipeline; the stack runs once, at this edge — never in workers."""
         if self.router is None:
             raise ClusterError("cluster is not started; call start() first")
-        return ServiceHTTPServer((host, port), self.router, verbose=verbose)
+        return ServiceHTTPServer(
+            (host, port), self.router, verbose=verbose, middleware=middleware
+        )
 
     def dispatch_safe(
         self, endpoint: str, payload: object = None

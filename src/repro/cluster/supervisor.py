@@ -45,6 +45,54 @@ from repro.errors import ShardUnavailableError, WorkerStartupError
 #: Consecutive ping failures that condemn a live-looking process.
 _PING_STRIKES = 3
 
+#: Rotation defaults for per-spawn worker stderr capture: how many old
+#: generations to keep per shard, and the size at which a kept log is
+#: truncated to its tail.  A crash-looping worker spawns a new generation
+#: (and a new log) every backoff window — unbounded, that fills the disk
+#: the supervisor is trying to survive on.
+DEFAULT_STDERR_KEEP = 3
+DEFAULT_STDERR_CAP_BYTES = 1024 * 1024
+
+
+def _prune_stderr_logs(
+    run_dir: Path, shard: int, *, keep: int, cap_bytes: int
+) -> None:
+    """Bound one shard's ``stderr-{shard}-{generation}.log`` files.
+
+    Keeps the *keep* newest generations (deleting older ones) and
+    truncates any survivor above *cap_bytes* to its final *cap_bytes*
+    (the tail is where a crash's traceback lives).  Called before each
+    spawn, so the bound holds across restarts without a background task.
+    """
+    prefix = f"stderr-{shard}-"
+
+    def generation_of(path: Path) -> int:
+        try:
+            return int(path.stem[len(prefix):])
+        except ValueError:
+            return -1
+
+    logs = sorted(
+        (p for p in run_dir.glob(f"{prefix}*.log") if generation_of(p) >= 0),
+        key=generation_of,
+    )
+    for stale in logs[: max(0, len(logs) - keep)]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    for survivor in logs[max(0, len(logs) - keep):]:
+        try:
+            size = survivor.stat().st_size
+            if size <= cap_bytes:
+                continue
+            with open(survivor, "rb") as fh:
+                fh.seek(size - cap_bytes)
+                tail = fh.read()
+            survivor.write_bytes(tail)
+        except OSError:
+            pass
+
 
 def _worker_env() -> dict[str, str]:
     """The subprocess environment: this library's ``src`` on PYTHONPATH."""
@@ -96,6 +144,8 @@ class Supervisor:
         backoff_cap: float = 5.0,
         backoff_reset_after: float = 10.0,
         run_dir: "str | Path | None" = None,
+        stderr_keep: int = DEFAULT_STDERR_KEEP,
+        stderr_cap_bytes: int = DEFAULT_STDERR_CAP_BYTES,
     ) -> None:
         self.python = python
         self.startup_timeout = startup_timeout
@@ -104,6 +154,8 @@ class Supervisor:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.backoff_reset_after = backoff_reset_after
+        self.stderr_keep = max(1, int(stderr_keep))
+        self.stderr_cap_bytes = max(1, int(stderr_cap_bytes))
         if run_dir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
             self.run_dir = Path(self._tempdir.name)
@@ -193,6 +245,12 @@ class Supervisor:
                     "datasets": handle.spec.datasets,
                 }
             )
+            _prune_stderr_logs(
+                self.run_dir,
+                handle.index,
+                keep=self.stderr_keep,
+                cap_bytes=self.stderr_cap_bytes,
+            )
             stderr_path = self.run_dir / f"stderr-{handle.index}-{generation}.log"
             stderr = open(stderr_path, "wb")
             try:
@@ -249,13 +307,20 @@ class Supervisor:
             return handle.client
 
     def request(
-        self, shard: int, endpoint: str, payload: Any = None, *, timeout: float = 30.0
+        self,
+        shard: int,
+        endpoint: str,
+        payload: Any = None,
+        *,
+        timeout: float = 30.0,
+        ctx: "dict[str, Any] | None" = None,
     ) -> tuple[int, dict[str, Any]]:
         """One round-trip to *shard*; transport failures become
-        :class:`ShardUnavailableError` (retryable by the caller)."""
+        :class:`ShardUnavailableError` (retryable by the caller).  *ctx*
+        is the edge request's wire identity, forwarded to the worker."""
         client = self.client(shard)
         try:
-            return client.request(endpoint, payload, timeout=timeout)
+            return client.request(endpoint, payload, timeout=timeout, ctx=ctx)
         except TransportError as exc:
             raise ShardUnavailableError(shard, str(exc)) from exc
 

@@ -170,18 +170,30 @@ class WorkerClient:
         payload: Any = None,
         *,
         timeout: float = 30.0,
+        ctx: "dict[str, Any] | None" = None,
     ) -> tuple[int, dict[str, Any]]:
-        """One ``(status, body)`` round-trip within *timeout* seconds."""
+        """One ``(status, body)`` round-trip within *timeout* seconds.
+
+        *ctx* is the edge request's wire identity (request id, principal)
+        — carried as an optional ``"ctx"`` frame field so the worker's
+        access log attributes hop work to the originating request.  When
+        absent the frame is byte-identical to the pre-middleware wire
+        format; old workers ignore the extra field either way.
+        """
         with self._lock:
             self._next_id += 1
             request_id = self._next_id
+        frame: dict[str, Any] = {
+            "id": request_id,
+            "endpoint": endpoint,
+            "payload": payload,
+        }
+        if ctx:
+            frame["ctx"] = ctx
         sock = self._checkout()
         try:
             sock.settimeout(max(timeout, 1e-3))
-            send_frame(
-                sock,
-                {"id": request_id, "endpoint": endpoint, "payload": payload},
-            )
+            send_frame(sock, frame)
             message = recv_frame(sock)
         except TransportError:
             sock.close()

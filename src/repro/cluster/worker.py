@@ -49,6 +49,8 @@ from repro.reliability import inject, install_from_env
 from repro.reliability.deadline import deadline_scope
 from repro.service.deployment import Deployment
 from repro.service.dispatch import ServiceDispatcher, status_for
+from repro.service.middleware.accesslog import AccessLog
+from repro.service.middleware.context import RequestContext, context_scope
 from repro.service.protocol import decode_query_request, encode_error, request_deadline
 
 #: Cluster-internal endpoints (never mounted on the HTTP front end).
@@ -95,6 +97,9 @@ class WorkerSpec:
     cache_size: int = 64
     workers: int = 1
     ordered: bool = True
+    #: append-target for per-hop access-log lines ("" disables; a shared
+    #: file is safe — lines are written atomically and stamped ``shard``)
+    access_log: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -108,6 +113,7 @@ class WorkerSpec:
             "cache_size": self.cache_size,
             "workers": self.workers,
             "ordered": self.ordered,
+            "access_log": self.access_log,
             "extra": self.extra,
         }
 
@@ -127,6 +133,7 @@ class WorkerSpec:
                 cache_size=payload.get("cache_size", 64),
                 workers=payload.get("workers", 1),
                 ordered=payload.get("ordered", True),
+                access_log=payload.get("access_log", ""),
                 extra=payload.get("extra", {}),
             )
         except (KeyError, TypeError) as exc:
@@ -195,6 +202,11 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         self.deployment = deployment
         self.dispatcher = ServiceDispatcher(deployment)
         self.draining = False
+        self.access_log: "AccessLog | None" = None
+        if spec.access_log:
+            self.access_log = AccessLog(
+                spec.access_log, extra={"shard": spec.shard_index}
+            )
 
     @property
     def port(self) -> int:
@@ -207,11 +219,23 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         endpoint = message.get("endpoint")
         payload = message.get("payload")
         if endpoint == PING_ENDPOINT:
-            status, body = 200, self._ping()
-        elif endpoint == MATCHES_ENDPOINT:
-            status, body = self._matches_safe(payload)
-        else:
-            status, body = self.dispatcher.dispatch_safe(endpoint, payload)
+            # health probes carry no edge context and are never hop-logged
+            return {"id": message.get("id"), "status": 200, "body": self._ping()}
+        # the frame's optional "ctx" field is the edge request's identity:
+        # installing it thread-locally is what makes one request id span
+        # the router→worker hop (from_wire tolerates absent/garbage ctx)
+        ctx = RequestContext.from_wire(message.get("ctx"), endpoint=str(endpoint))
+        with context_scope(ctx):
+            if endpoint == MATCHES_ENDPOINT:
+                status, body = self._matches_safe(payload)
+            else:
+                status, body = self.dispatcher.dispatch_safe(endpoint, payload)
+            if self.access_log is not None:
+                if isinstance(payload, dict) and isinstance(
+                    payload.get("dataset"), str
+                ):
+                    ctx.dataset = payload["dataset"]
+                self.access_log.write(ctx, str(endpoint), status)
         return {"id": message.get("id"), "status": status, "body": body}
 
     def _ping(self) -> dict[str, Any]:
@@ -274,6 +298,11 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         """Stop accepting, let in-flight frames finish, release sessions."""
         self.draining = True
         self.shutdown()
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
 
 def run_worker(spec: WorkerSpec) -> int:

@@ -138,6 +138,51 @@ class DeadlineExceededError(ServiceError):
         self.budget_ms = budget_ms
 
 
+class AuthenticationError(ServiceError):
+    """Raised when a request presents no credential, or one matching no
+    registered token, on a deployment serving with ``--auth-token-file``.
+    Transports map this to 401 with a ``WWW-Authenticate: Bearer`` header.
+
+    The message is deliberately a constant: it must not leak whether a
+    token was close, expired, or absent, and the 401 body must be
+    byte-identical on every topology."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "missing or invalid bearer token; authenticate with an "
+            "'Authorization: Bearer <token>' header"
+        )
+
+
+class RateLimitedError(ServiceError):
+    """Raised when per-client admission control (token-bucket rate or
+    concurrency quota) rejects a request.  Transports map this to 429
+    with a ``Retry-After`` header.
+
+    The message is deliberately a constant (no client key, no remaining
+    budget) so the 429 body is byte-identical on every topology."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "rate limit exceeded; the request was not served (safe to "
+            "retry after the Retry-After delay)"
+        )
+
+
+class PayloadTooLargeError(ServiceError):
+    """Raised when a request body exceeds the transport's size cap
+    before it is read.  The HTTP front end maps this to status 413; the
+    request body was never parsed."""
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"request body of {length} bytes exceeds the maximum of "
+            f"{limit} bytes"
+        )
+        self.length = length
+        self.limit = limit
+
+
 class FaultInjectionError(ReproError):
     """The default error an armed fault-injection site raises when its
     :class:`~repro.reliability.FaultPlan` rule fires without a

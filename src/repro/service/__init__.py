@@ -18,8 +18,12 @@ dataset.  This package turns that into a *service*:
   over the Session's thread-pool fan-out (``await`` / ``async for``);
 * :mod:`repro.service.http` — a stdlib-only ``ThreadingHTTPServer`` front
   end (``repro serve``) exposing ``/v1/query``, ``/v1/size-l``,
-  ``/v1/batch``, ``/v1/datasets``, ``/v1/stats``, and
-  ``/v1/admin/invalidate|reload`` with pinned JSON error bodies.
+  ``/v1/batch``, ``/v1/datasets``, ``/v1/stats``, ``/v1/metrics``, and
+  ``/v1/admin/invalidate|reload`` with pinned JSON error bodies;
+* :mod:`repro.service.middleware` — the composable request pipeline both
+  topologies serve through: per-request :class:`RequestContext` (one id
+  across router→worker hops), bearer-token auth, per-client rate limits,
+  structured JSON access logs, and Prometheus metrics.
 
 Every future scaling PR (sharding, replicas, rate limiting) plugs into
 this layer rather than into Session internals.
@@ -29,6 +33,12 @@ from repro.service.asession import AsyncSession
 from repro.service.deployment import Deployment
 from repro.service.dispatch import ServiceDispatcher
 from repro.service.http import create_server, serve
+from repro.service.middleware import (
+    MiddlewareConfig,
+    MiddlewarePipeline,
+    RequestContext,
+    build_pipeline,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BatchRequest,
@@ -52,10 +62,14 @@ __all__ = [
     "BatchResponse",
     "Cursor",
     "Deployment",
+    "MiddlewareConfig",
+    "MiddlewarePipeline",
     "QueryRequest",
     "QueryResponse",
+    "RequestContext",
     "ResultEntry",
     "ServiceDispatcher",
+    "build_pipeline",
     "SizeLRequest",
     "SizeLResponse",
     "create_server",

@@ -21,7 +21,13 @@ status  errors
 400     :class:`~repro.errors.RequestValidationError` and every other
         :class:`~repro.errors.ReproError` a request provokes (bad
         options, unknown tables, ...)
+401     :class:`~repro.errors.AuthenticationError` — rejected bearer
+        credential (auth middleware; the dispatcher never raises it)
 404     :class:`~repro.errors.UnknownDatasetError`, unknown endpoints
+413     :class:`~repro.errors.PayloadTooLargeError` — request body over
+        the transport cap; the body was never read
+429     :class:`~repro.errors.RateLimitedError` — per-client admission
+        control rejected the request (rate-limit middleware)
 409     :class:`~repro.errors.PersistError` (mismatch/corruption) on
         ``/v1/admin/reload`` only — the deployment keeps serving its
         previous state
@@ -49,14 +55,18 @@ from typing import Any
 
 from repro.core.options import QueryOptions
 from repro.errors import (
+    AuthenticationError,
     BackendIOError,
     DeadlineExceededError,
+    PayloadTooLargeError,
     PersistError,
+    RateLimitedError,
     ReproError,
     RequestValidationError,
     UnknownDatasetError,
 )
 from repro.reliability.deadline import deadline_scope
+from repro.service.middleware.context import current_context
 from repro.service.deployment import Deployment
 from repro.service.protocol import (
     BatchRequest,
@@ -95,6 +105,12 @@ def status_for(exc: BaseException, endpoint: str | None = None) -> int:
         # transient server-side IO: the request left no partial state —
         # 503 tells clients to retry, unlike the 500 bug bucket
         return 503
+    if isinstance(exc, AuthenticationError):
+        return 401
+    if isinstance(exc, RateLimitedError):
+        return 429
+    if isinstance(exc, PayloadTooLargeError):
+        return 413
     if isinstance(exc, UnknownDatasetError):
         return 404
     if isinstance(exc, PersistError):
@@ -119,6 +135,27 @@ class ServiceDispatcher:
     def _cache_counters(self, session: Any) -> dict[str, int]:
         return session.cache.stats().as_dict()
 
+    def _computations_before(self, session: Any) -> "int | None":
+        """Pre-work computation count, only when a request context wants it.
+
+        The access-log ``cache_hit`` flag means "the cache computed
+        nothing new for this request" — observable as an unchanged
+        ``result_computations`` counter.  Outside a middleware pipeline
+        (no installed context) the snapshot is skipped entirely, so the
+        typed layer's behavior and cost are unchanged for embedders.
+        """
+        if current_context() is None:
+            return None
+        return session.cache.stats().result_computations
+
+    def _note_cache_hit(self, session: Any, before: "int | None") -> None:
+        if before is None:
+            return
+        ctx = current_context()
+        if ctx is not None:
+            after = session.cache.stats().result_computations
+            ctx.note("cache_hit", after == before)
+
     def query(self, request: QueryRequest) -> QueryResponse:
         """One page of a keyword query (the whole query without a cursor).
 
@@ -130,6 +167,7 @@ class ServiceDispatcher:
         silently skipped or repeated results.
         """
         session = self.deployment.session(request.dataset)
+        before = self._computations_before(session)
         keywords = list(request.keywords)
         options = request.options
         matches = session.engine.search_matches(keywords, options)
@@ -163,6 +201,7 @@ class ServiceDispatcher:
             next_cursor = Cursor(
                 rank=start + len(page) - 1, table=last.table, row_id=last.row_id
             )
+        self._note_cache_hit(session, before)
         return QueryResponse(
             dataset=request.dataset,
             keywords=tuple(keywords),
@@ -174,8 +213,10 @@ class ServiceDispatcher:
 
     def size_l(self, request: SizeLRequest) -> SizeLResponse:
         session = self.deployment.session(request.dataset)
+        before = self._computations_before(session)
         result = session.size_l(request.table, request.row_id, options=request.options)
         importance = session.engine.store.importance(request.table, request.row_id)
+        self._note_cache_hit(session, before)
         return SizeLResponse(
             dataset=request.dataset,
             result=result_entry(0, request.table, request.row_id, importance, result),
@@ -184,6 +225,7 @@ class ServiceDispatcher:
 
     def batch(self, request: BatchRequest) -> BatchResponse:
         session = self.deployment.session(request.dataset)
+        before = self._computations_before(session)
         results = session.size_l_many(list(request.subjects), options=request.options)
         store = session.engine.store
         entries = tuple(
@@ -192,6 +234,7 @@ class ServiceDispatcher:
                 zip(request.subjects, results)
             )
         )
+        self._note_cache_hit(session, before)
         return BatchResponse(
             dataset=request.dataset,
             results=entries,
@@ -219,6 +262,19 @@ class ServiceDispatcher:
                 else self.deployment.describe(name)
             )
             for name in self.deployment.names()
+        }
+
+    def cache_stats_by_dataset(self) -> dict[str, Any]:
+        """Typed per-dataset cache counters for the metrics endpoint.
+
+        Non-building, like the aggregate :meth:`stats` form: a metrics
+        scrape must never synthesize a dataset, so only built sessions
+        report (an unbuilt dataset has no cache to count anyway).
+        """
+        return {
+            name: self.deployment.session(name).cache.stats()
+            for name in self.deployment.names()
+            if self.deployment.describe(name)["built"]
         }
 
     def invalidate(

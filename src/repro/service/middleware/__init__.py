@@ -1,0 +1,71 @@
+"""Composable request middleware shared by both serving topologies.
+
+The package is organized around one spine and four riders:
+
+* :mod:`~repro.service.middleware.context` — the per-request
+  :class:`RequestContext` (id, principal, deadline, timings) created at
+  the edge and carried across router→worker hops;
+* :mod:`~repro.service.middleware.pipeline` — the ordered stack and the
+  :func:`build_pipeline` recipe that assembles it from a
+  :class:`MiddlewareConfig`;
+* :mod:`~repro.service.middleware.auth` — constant-time bearer tokens;
+* :mod:`~repro.service.middleware.ratelimit` — token buckets and
+  concurrency quotas;
+* :mod:`~repro.service.middleware.accesslog` — one JSON line per request;
+* :mod:`~repro.service.middleware.metrics` — Prometheus counters and
+  latency histograms behind ``GET /v1/metrics``.
+"""
+
+from repro.service.middleware.accesslog import AccessLog, AccessLogMiddleware
+from repro.service.middleware.auth import (
+    AUTH_FAILURES_METRIC,
+    AuthMiddleware,
+    TokenAuthenticator,
+)
+from repro.service.middleware.context import (
+    MAX_REQUEST_ID_LENGTH,
+    REQUEST_ID_HEADER,
+    RequestContext,
+    context_scope,
+    current_context,
+    new_request_id,
+    validate_request_id,
+)
+from repro.service.middleware.metrics import DURATION_BUCKETS, MetricsRegistry
+from repro.service.middleware.pipeline import (
+    MiddlewareConfig,
+    MiddlewarePipeline,
+    build_pipeline,
+)
+from repro.service.middleware.ratelimit import (
+    MAX_TRACKED_CLIENTS,
+    THROTTLED_METRIC,
+    RateLimiter,
+    RateLimitMiddleware,
+    client_key,
+)
+
+__all__ = [
+    "AccessLog",
+    "AccessLogMiddleware",
+    "AUTH_FAILURES_METRIC",
+    "AuthMiddleware",
+    "TokenAuthenticator",
+    "MAX_REQUEST_ID_LENGTH",
+    "REQUEST_ID_HEADER",
+    "RequestContext",
+    "context_scope",
+    "current_context",
+    "new_request_id",
+    "validate_request_id",
+    "DURATION_BUCKETS",
+    "MetricsRegistry",
+    "MiddlewareConfig",
+    "MiddlewarePipeline",
+    "build_pipeline",
+    "MAX_TRACKED_CLIENTS",
+    "THROTTLED_METRIC",
+    "RateLimiter",
+    "RateLimitMiddleware",
+    "client_key",
+]

@@ -1,0 +1,106 @@
+"""Structured JSON access logs: one line per request, on any topology.
+
+:class:`AccessLog` is the writer — it owns a text stream (a path opened
+append-mode, ``sys.stderr`` for ``--access-log -``, or any file-like
+object) and serializes one compact JSON object per request under a lock,
+flushing per line so ``tail -f`` and crash post-mortems see every
+completed request.  Writing each record as a **single** ``write()`` of
+one newline-terminated line keeps concurrent writers (worker processes
+appending to a shared file) from tearing lines.
+
+Record fields::
+
+    ts           ISO-8601 UTC completion time
+    id           the request id (one id across router→worker hops)
+    principal    authenticated principal (null on unauthenticated stacks)
+    client       transport peer (HTTP remote address), when known
+    endpoint     "/v1/query", ...
+    dataset      the request's dataset field, when present
+    status       the pinned HTTP status the transport sent
+    duration_ms  monotonic admission→response time
+    cache_hit    true when the dispatcher served the request without
+                 computing anything new (null on endpoints with no cache)
+
+plus any constant ``extra`` fields the writer was created with (shard
+workers stamp ``shard`` so hop lines are attributable in a shared file).
+
+:class:`AccessLogMiddleware` is the pipeline adapter: it logs after the
+rest of the stack answered, so the line carries the final status —
+including 401s and 429s produced by inner middlewares.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Mapping, TextIO
+
+from repro.service.middleware.context import RequestContext
+
+
+class AccessLog:
+    """A thread-safe one-JSON-line-per-request writer."""
+
+    def __init__(
+        self,
+        stream: "TextIO | str | Path",
+        *,
+        extra: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        self._owns_stream = False
+        if stream == "-":
+            self._stream: TextIO = sys.stderr
+        elif isinstance(stream, (str, Path)):
+            self._stream = open(stream, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = stream
+        self._extra = dict(extra or {})
+        self._lock = threading.Lock()
+
+    def write(self, ctx: RequestContext, endpoint: str, status: int) -> None:
+        """Emit the record for one finished request."""
+        record: dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "id": ctx.request_id,
+            "principal": ctx.principal,
+            "client": ctx.client,
+            "endpoint": endpoint,
+            "dataset": ctx.dataset,
+            "status": int(status),
+            "duration_ms": round(ctx.elapsed_ms(), 3),
+            "cache_hit": ctx.annotations.get("cache_hit"),
+        }
+        record.update(self._extra)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+                self._stream.flush()
+            except ValueError:  # closed stream: logging must never 500 a request
+                pass
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+class AccessLogMiddleware:
+    """Logs every request after the rest of the pipeline answered."""
+
+    def __init__(self, log: AccessLog) -> None:
+        self.log = log
+
+    def handle(
+        self,
+        ctx: RequestContext,
+        endpoint: str,
+        payload: object,
+        forward: Callable[[], tuple[int, dict]],
+    ) -> tuple[int, dict]:
+        status, body = forward()
+        self.log.write(ctx, endpoint, status)
+        return status, body

@@ -1,0 +1,112 @@
+"""Bearer-token authentication middleware.
+
+Tokens live in a flat file (``repro serve --auth-token-file``), one per
+line::
+
+    # comments and blank lines are skipped
+    alice:3f9c4b2d8e...        # principal "alice"
+    8a1d0c9e7f...              # bare token -> principal "client"
+
+The principal (the part before the first ``:``) becomes
+:attr:`RequestContext.principal` — the identity access logs record and
+the rate limiter keys on.  Verification is **constant-time**: every
+registered token is compared with :func:`hmac.compare_digest` and the
+loop never exits early, so response timing leaks neither which token
+prefix matched nor how many tokens exist.
+
+The 401 body is pinned (:class:`~repro.errors.AuthenticationError` has a
+constant message) and identical on every topology — auth runs once, at
+the edge pipeline, never inside shard workers.
+"""
+
+from __future__ import annotations
+
+import hmac
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.errors import AuthenticationError, ServiceError
+from repro.service.middleware.context import RequestContext
+from repro.service.protocol import encode_error
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.middleware.metrics import MetricsRegistry
+
+#: Metric bumped on every rejected credential.
+AUTH_FAILURES_METRIC = "repro_auth_failures_total"
+
+
+class TokenAuthenticator:
+    """A fixed token → principal table with constant-time lookup."""
+
+    def __init__(self, tokens: Mapping[str, str]) -> None:
+        if not tokens:
+            raise ServiceError("an authenticator needs at least one token")
+        self._tokens = {
+            token.encode("utf-8"): principal for token, principal in tokens.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "TokenAuthenticator":
+        """Parse a token file (``principal:token`` or bare ``token`` lines)."""
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ServiceError(f"cannot read auth token file {path}: {exc}") from exc
+        tokens: dict[str, str] = {}
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            principal, sep, token = line.partition(":")
+            if not sep:
+                principal, token = "client", line
+            if not token or not principal:
+                raise ServiceError(
+                    f"auth token file {path} line {lineno}: expected "
+                    "'principal:token' or a bare token"
+                )
+            tokens[token] = principal
+        return cls(tokens)
+
+    def authenticate(self, credential: "str | None") -> "str | None":
+        """The credential's principal, or ``None`` — in constant time."""
+        presented = (credential or "").encode("utf-8")
+        principal: str | None = None
+        # no early exit: every token is compared even after a match
+        for token, name in self._tokens.items():
+            if hmac.compare_digest(token, presented):
+                principal = name
+        return principal
+
+
+class AuthMiddleware:
+    """Rejects requests whose bearer credential matches no token."""
+
+    def __init__(
+        self,
+        authenticator: TokenAuthenticator,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.authenticator = authenticator
+        self.metrics = metrics
+
+    def handle(
+        self,
+        ctx: RequestContext,
+        endpoint: str,
+        payload: object,
+        forward: Callable[[], tuple[int, dict]],
+    ) -> tuple[int, dict]:
+        principal = self.authenticator.authenticate(ctx.credential)
+        if principal is None:
+            ctx.response_headers.setdefault("WWW-Authenticate", "Bearer")
+            if self.metrics is not None:
+                self.metrics.inc(AUTH_FAILURES_METRIC)
+            return 401, encode_error(AuthenticationError(), 401)
+        ctx.principal = principal
+        return forward()

@@ -1,0 +1,154 @@
+"""The request context: one identity for a request across every tier.
+
+A :class:`RequestContext` is created **once at the edge** (the HTTP
+handler, the CLI, a bare ``dispatch_safe`` call) and carried through the
+whole serving stack: the middleware pipeline installs it in a
+thread-local slot (:func:`context_scope`), the dispatcher annotates it
+(cache-hit flags), and the cluster router serializes its identity onto
+every forwarded worker frame — so one request keeps **one id** across
+router→worker hops and every access-log line it produces, on any
+process, carries that id.
+
+Request ids are client-suppliable (``X-Repro-Request-Id``): a valid
+client id is honored verbatim (idempotency keys, trace correlation), an
+absent one is generated, and an invalid one is the pinned 400 — ids
+land in logs and response headers, so the charset and length are capped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import RequestValidationError
+
+#: Request/response header carrying the request id.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Client-supplied ids above this length are rejected (they are echoed
+#: into headers and logged verbatim; unbounded ids are a log-injection
+#: and memory vector).
+MAX_REQUEST_ID_LENGTH = 128
+
+_ID_ALPHABET = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def new_request_id() -> str:
+    """A fresh server-generated request id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def validate_request_id(raw: object) -> str:
+    """A client-supplied request id, validated or rejected with the 400.
+
+    Accepted ids are 1–:data:`MAX_REQUEST_ID_LENGTH` chars drawn from
+    ``[A-Za-z0-9._-]`` — safe to echo into headers and JSON logs.
+    """
+    if not isinstance(raw, str) or not raw:
+        raise RequestValidationError(
+            f"invalid {REQUEST_ID_HEADER}: expected a non-empty string"
+        )
+    if len(raw) > MAX_REQUEST_ID_LENGTH:
+        raise RequestValidationError(
+            f"invalid {REQUEST_ID_HEADER}: {len(raw)} chars exceeds the "
+            f"{MAX_REQUEST_ID_LENGTH}-char cap"
+        )
+    if not set(raw) <= _ID_ALPHABET:
+        raise RequestValidationError(
+            f"invalid {REQUEST_ID_HEADER}: ids may contain only letters, "
+            "digits, '.', '_', and '-'"
+        )
+    return raw
+
+
+@dataclass
+class RequestContext:
+    """Everything the middleware stack knows about one in-flight request.
+
+    ``start`` is monotonic — every duration derived from a context is
+    immune to wall-clock steps.  ``annotations`` is the side channel the
+    dispatcher writes observability facts into (``cache_hit``) without
+    touching response bodies; ``response_headers`` is how middlewares ask
+    the transport to add headers (``Retry-After``, ``WWW-Authenticate``)
+    without the body-shaping layers knowing about HTTP.
+    """
+
+    request_id: str = field(default_factory=new_request_id)
+    endpoint: str = ""
+    dataset: str | None = None
+    #: the authenticated principal (set by the auth middleware) — ``None``
+    #: on an unauthenticated stack
+    principal: str | None = None
+    #: the transport-level peer (HTTP remote address), rate-limit fallback key
+    client: str | None = None
+    #: the raw bearer credential presented at the edge (pre-authentication)
+    credential: str | None = None
+    deadline_ms: int | None = None
+    start: float = field(default_factory=time.monotonic)
+    annotations: dict[str, Any] = field(default_factory=dict)
+    response_headers: dict[str, str] = field(default_factory=dict)
+
+    def elapsed_ms(self) -> float:
+        return (time.monotonic() - self.start) * 1000.0
+
+    def note(self, key: str, value: Any) -> None:
+        """Record an observability fact (access logs read these)."""
+        self.annotations[key] = value
+
+    def wire_identity(self) -> dict[str, Any]:
+        """The hop-forwardable half of the context (router → worker frames)."""
+        identity: dict[str, Any] = {"request_id": self.request_id}
+        if self.principal is not None:
+            identity["principal"] = self.principal
+        return identity
+
+    @classmethod
+    def from_wire(cls, raw: object, *, endpoint: str = "") -> "RequestContext":
+        """Rebuild a hop's context from a forwarded frame field.
+
+        Deliberately tolerant: the fabric is trusted (it is this
+        library's own router), but a malformed field must degrade to a
+        fresh id, never take the worker down.
+        """
+        request_id: str | None = None
+        principal: str | None = None
+        if isinstance(raw, dict):
+            candidate = raw.get("request_id")
+            if isinstance(candidate, str) and candidate:
+                try:
+                    request_id = validate_request_id(candidate)
+                except RequestValidationError:
+                    request_id = None
+            name = raw.get("principal")
+            if isinstance(name, str) and name:
+                principal = name
+        return cls(
+            request_id=request_id if request_id is not None else new_request_id(),
+            endpoint=endpoint,
+            principal=principal,
+        )
+
+
+_local = threading.local()
+
+
+def current_context() -> RequestContext | None:
+    """The context installed on this thread (``None`` outside a pipeline)."""
+    return getattr(_local, "context", None)
+
+
+@contextmanager
+def context_scope(ctx: RequestContext) -> Iterator[RequestContext]:
+    """Install *ctx* as this thread's current context for the block."""
+    previous = getattr(_local, "context", None)
+    _local.context = ctx
+    try:
+        yield ctx
+    finally:
+        _local.context = previous

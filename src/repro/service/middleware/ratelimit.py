@@ -1,0 +1,164 @@
+"""Per-client token-bucket rate limiting and concurrency quotas.
+
+Two independent admission gates, both keyed on the request's client
+identity (the authenticated principal when auth is armed, else the
+transport peer address, else ``"anonymous"``):
+
+* **rate** — a token bucket per client (``rate`` tokens/second refill,
+  ``burst`` capacity).  A request with no token available is the pinned
+  429 with a ``Retry-After`` header naming when the next token lands;
+* **concurrency** — at most ``max_concurrent`` requests of one client
+  in flight at once.  The 430-shaped failure does not exist in HTTP;
+  quota exhaustion is also 429, with ``Retry-After: 1`` (an in-flight
+  request finishing is what frees the slot, not the clock).
+
+The 429 body is pinned (:class:`~repro.errors.RateLimitedError` has a
+constant message) and identical on every topology — throttling runs at
+the edge pipeline only, so a scattered sub-request can never be
+throttled into a half-answered page.
+
+Bucket state is bounded: at most :data:`MAX_TRACKED_CLIENTS` clients are
+tracked, evicting least-recently-seen — an attacker cycling principals
+cannot grow the process.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RateLimitedError, ServiceError
+from repro.service.middleware.context import RequestContext
+from repro.service.protocol import encode_error
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.middleware.metrics import MetricsRegistry
+
+#: Metric bumped on every throttled request (rate or concurrency).
+THROTTLED_METRIC = "repro_ratelimit_throttled_total"
+
+#: Distinct client keys tracked before least-recently-seen eviction.
+MAX_TRACKED_CLIENTS = 4096
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp", "inflight")
+
+    def __init__(self, burst: float, now: float) -> None:
+        self.tokens = burst
+        self.stamp = now
+        self.inflight = 0
+
+
+class RateLimiter:
+    """Token buckets + in-flight counters for every active client key."""
+
+    def __init__(
+        self,
+        *,
+        rate: "float | None" = None,
+        burst: "int | None" = None,
+        max_concurrent: "int | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ServiceError(f"rate limit must be > 0 requests/second, got {rate}")
+        if burst is not None and burst < 1:
+            raise ServiceError(f"rate burst must be >= 1, got {burst}")
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ServiceError(f"max concurrent must be >= 1, got {max_concurrent}")
+        self.rate = rate
+        self.burst = (
+            burst
+            if burst is not None
+            else (max(1, math.ceil(rate)) * 2 if rate is not None else 1)
+        )
+        self.max_concurrent = max_concurrent
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, _Bucket]" = OrderedDict()
+
+    def _bucket(self, key: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(float(self.burst), now)
+            while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(key)
+        return bucket
+
+    def admit(self, key: str) -> "float | None":
+        """Admit one request for *key* (claiming an in-flight slot).
+
+        Returns ``None`` on admission, else the suggested retry delay in
+        seconds.  Every admitted request must be paired with one
+        :meth:`release`.
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket(key, now)
+            if (
+                self.max_concurrent is not None
+                and bucket.inflight >= self.max_concurrent
+            ):
+                return 1.0
+            if self.rate is not None:
+                elapsed = max(0.0, now - bucket.stamp)
+                bucket.tokens = min(
+                    float(self.burst), bucket.tokens + elapsed * self.rate
+                )
+                bucket.stamp = now
+                if bucket.tokens < 1.0:
+                    return (1.0 - bucket.tokens) / self.rate
+                bucket.tokens -= 1.0
+            bucket.inflight += 1
+            return None
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is not None and bucket.inflight > 0:
+                bucket.inflight -= 1
+
+
+def client_key(ctx: RequestContext) -> str:
+    """The identity quota accounting keys on."""
+    return ctx.principal or ctx.client or "anonymous"
+
+
+class RateLimitMiddleware:
+    """Applies a :class:`RateLimiter` to the pipeline."""
+
+    def __init__(
+        self,
+        limiter: RateLimiter,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.limiter = limiter
+        self.metrics = metrics
+
+    def handle(
+        self,
+        ctx: RequestContext,
+        endpoint: str,
+        payload: object,
+        forward: Callable[[], tuple[int, dict]],
+    ) -> tuple[int, dict]:
+        key = client_key(ctx)
+        retry_after = self.limiter.admit(key)
+        if retry_after is not None:
+            ctx.response_headers["Retry-After"] = str(
+                max(1, math.ceil(retry_after))
+            )
+            if self.metrics is not None:
+                self.metrics.inc(THROTTLED_METRIC)
+            return 429, encode_error(RateLimitedError(), 429)
+        try:
+            return forward()
+        finally:
+            self.limiter.release(key)
