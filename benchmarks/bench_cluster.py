@@ -14,6 +14,16 @@ worth and thrashes on the rest:
   headline is ``speedup_4shard_vs_1`` (aggregate QPS ratio), gated by
   ``--check``; hit rates from the merged worker stats are reported so the
   mechanism is visible, not inferred.
+* ``mmap_rss``: every worker attaches the *same* precomputed snapshot
+  directory, whose arenas are ``np.load(..., mmap_mode="r")`` file-backed
+  mappings.  After a warm lap touches the pages, each worker's
+  ``/proc/<pid>/smaps`` is read for the snapshot-dir mappings: once two
+  or more workers map the snapshot, per-worker private bytes must be ~0
+  (read-only mappings never copy; a lone mapper's pages are merely
+  *accounted* private), and the summed proportional-set-size must stay
+  flat as shards grow — the page
+  cache holds one copy no matter how many workers map it, so the
+  incremental snapshot RSS of an extra shard is near zero.
 * ``kill_recovery``: the same stream at 2 shards while one worker is
   SIGKILLed mid-run.  Accepted requests must stay *correct*: every 200 is
   verified node-for-node against an in-process reference Session, every
@@ -259,6 +269,122 @@ def bench_sweep(reference: dict) -> dict:
     }
 
 
+def _snapshot_mappings(pid: int, snapshot_dir: Path) -> "dict | None":
+    """Aggregate smaps fields over one process's snapshot-dir mappings (kB)."""
+    needle = str(snapshot_dir.resolve())
+    totals = {
+        "rss_kb": 0,
+        "pss_kb": 0,
+        "private_kb": 0,
+        "private_dirty_kb": 0,
+        "shared_kb": 0,
+    }
+    try:
+        text = Path(f"/proc/{pid}/smaps").read_text(encoding="utf-8")
+    except OSError:
+        return None
+    in_snapshot = False
+    for line in text.splitlines():
+        if line.endswith("kB") and ":" in line:
+            if not in_snapshot:
+                continue
+            key, _, rest = line.partition(":")
+            kb = int(rest.split()[0])
+            if key == "Rss":
+                totals["rss_kb"] += kb
+            elif key == "Pss":
+                totals["pss_kb"] += kb
+            elif key in ("Private_Clean", "Private_Dirty"):
+                totals["private_kb"] += kb
+                if key == "Private_Dirty":
+                    totals["private_dirty_kb"] += kb
+            elif key in ("Shared_Clean", "Shared_Dirty"):
+                totals["shared_kb"] += kb
+        elif not line.startswith("VmFlags"):
+            # a mapping header: does it name a file inside the snapshot?
+            in_snapshot = needle in line
+    return totals
+
+
+def bench_mmap_rss(reference: dict) -> dict:
+    """Per-worker memory cost of the shared mmap snapshot, by shard count."""
+    import shutil
+    import tempfile
+
+    from repro.persist import precompute_snapshot
+
+    # one snapshot directory, attached by every worker of every cluster
+    session = Session.from_named("dblp", seed=SEED, scale=reference["scale"])
+    snapshot_dir = Path(tempfile.mkdtemp(prefix="bench-mmap-")) / "snapshot"
+    precompute_snapshot(session.engine, reference["subjects"], snapshot_dir)
+    session.close()
+    spec = DatasetSpec(
+        name="dblp",
+        database="dblp",
+        seed=SEED,
+        scale=reference["scale"],
+        snapshot=str(snapshot_dir),
+    )
+    points = []
+    try:
+        for shards in SHARD_SWEEP:
+            with Cluster(
+                [spec], shards, cache_size=4, startup_timeout=300
+            ) as cluster:
+                # touch the arenas: one size-l per subject faults the
+                # snapshot pages in on whichever worker owns the subject
+                for table, row_id in reference["subjects"]:
+                    status, _ = cluster.dispatch_safe(
+                        "/v1/size-l",
+                        {
+                            "dataset": "dblp",
+                            "table": table,
+                            "row_id": row_id,
+                            "options": {"l": SIZE_L},
+                        },
+                    )
+                    assert status == 200
+                workers = [
+                    _snapshot_mappings(entry["pid"], snapshot_dir)
+                    for entry in cluster.supervisor.describe()
+                    if entry["pid"] is not None
+                ]
+            workers = [w for w in workers if w is not None]
+            point = {
+                "shards": shards,
+                "workers_sampled": len(workers),
+                "pss_total_kb": sum(w["pss_kb"] for w in workers),
+                "rss_total_kb": sum(w["rss_kb"] for w in workers),
+                "private_max_kb": max((w["private_kb"] for w in workers), default=0),
+                # dirty private pages would be actual per-worker copies;
+                # clean "private" is just a file page with a single mapper
+                "private_dirty_max_kb": max(
+                    (w["private_dirty_kb"] for w in workers), default=0
+                ),
+            }
+            points.append(point)
+            print(
+                f"  {shards} shard(s): snapshot pss {point['pss_total_kb']} kB "
+                f"total, worst private-dirty {point['private_dirty_max_kb']} kB"
+            )
+    finally:
+        shutil.rmtree(snapshot_dir.parent, ignore_errors=True)
+    by_shards = {point["shards"]: point for point in points}
+    return {
+        "points": points,
+        "smaps_readable": all(
+            point["workers_sampled"] == point["shards"] for point in points
+        ),
+        # the headline: the unique (proportional) snapshot footprint of a
+        # 4-worker cluster vs one worker — ~1.0 means one page-cache copy
+        "pss_ratio_4shard_vs_1": (
+            by_shards[4]["pss_total_kb"] / by_shards[1]["pss_total_kb"]
+            if by_shards[1]["pss_total_kb"]
+            else None
+        ),
+    }
+
+
 def bench_kill_recovery(reference: dict) -> dict:
     """SIGKILL one of two workers mid-stream; nothing may be silently wrong."""
     stream = _request_stream(reference, min(600, reference["n_requests"]))
@@ -333,9 +459,11 @@ def run_mode(quick: bool) -> dict:
         f"per-worker cache {reference['cache_size']}, l={SIZE_L}"
     )
     sweep = bench_sweep(reference)
+    mmap_rss = bench_mmap_rss(reference)
     recovery = bench_kill_recovery(reference)
     speedup = sweep["speedup_4shard_vs_1"]
     print(f"  speedup at 4 shards vs 1: {speedup:.2f}x")
+    smaps_ok = mmap_rss["smaps_readable"]
     verified = {
         "sweep_all_correct": all(
             point["all_passes_correct"] for point in sweep["points"]
@@ -356,10 +484,26 @@ def run_mode(quick: bool) -> dict:
         # the real quick-mode gate is --check against the committed
         # baseline.  Full mode owns the headline >= 3x claim.
         "speedup_at_least_3x": speedup >= (1.2 if quick else 3.0),
+        # read-only mmap arenas never fault private copies.  Judged on
+        # the multi-worker points only: with a single mapper the kernel
+        # *accounts* the page-cache pages as that process's private set,
+        # so the 1-shard number is ownership bookkeeping, not a copy.
+        "mmap_no_per_worker_copies": (not smaps_ok) or all(
+            point["private_max_kb"] <= 64
+            for point in mmap_rss["points"]
+            if point["shards"] > 1
+        ),
+        # 4 workers mapping one snapshot must cost ~one page-cache copy,
+        # not four: the summed PSS may not grow materially with shards
+        "mmap_one_page_cache_copy": (not smaps_ok) or (
+            mmap_rss["pss_ratio_4shard_vs_1"] is not None
+            and mmap_rss["pss_ratio_4shard_vs_1"] <= 1.5
+        ),
     }
     return {
         "fixture": reference["fixture"],
         "sweep": sweep,
+        "mmap_rss": mmap_rss,
         "kill_recovery": recovery,
         "verified": verified,
     }

@@ -54,6 +54,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -83,6 +84,18 @@ _BATCH_KEYS = {"protocol_version", "dataset", "subjects", "options", "deadline_m
 
 def _is_row_id(value: object) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _stable_key(value: object) -> object:
+    """A hash-ring-safe stand-in for a mutation's primary key.
+
+    Scalars route by value; anything else (an insert's values dict, a
+    malformed payload) pins to a fixed key so the owner choice is at
+    least deterministic.
+    """
+    if isinstance(value, (str, int)) and not isinstance(value, bool):
+        return value
+    return 0
 
 
 def _valid_subject(item: object) -> bool:
@@ -347,6 +360,7 @@ class ClusterRouter:
         )
         entries: list[dict[str, Any] | None] = [None] * len(payload["subjects"])
         caches: list[dict[str, int]] = []
+        version = 0
         for shard, (status, body) in zip(shards, replies):
             if status != 200:
                 return status, body
@@ -355,10 +369,12 @@ class ClusterRouter:
                 entry["rank"] = index
                 entries[index] = entry
             caches.append(body.get("cache", {}))
+            version = max(version, int(body.get("dataset_version", 0)))
         return 200, {
             "protocol_version": PROTOCOL_VERSION,
             "dataset": dataset,
             "cache": CacheStats.merge(*caches).as_dict(),
+            "dataset_version": version,
             "results": entries,
         }
 
@@ -432,6 +448,7 @@ class ClusterRouter:
         entries: list[dict[str, Any] | None] = [None] * len(page)
         caches: list[dict[str, int]] = []
         missing: list[int] = []
+        version = int(found.get("dataset_version", 0))
         for shard, reply in zip(shards, replies):
             if reply is None or (allow_partial and reply[0] == 503):
                 missing.append(shard)
@@ -445,6 +462,7 @@ class ClusterRouter:
                 entry["match_importance"] = float(page[offset]["importance"])
                 entries[offset] = entry
             caches.append(body.get("cache", {}))
+            version = max(version, int(body.get("dataset_version", 0)))
         next_cursor = None
         if page and start + len(page) < len(matches):
             last = page[-1]
@@ -457,6 +475,7 @@ class ClusterRouter:
             "protocol_version": PROTOCOL_VERSION,
             "dataset": dataset,
             "cache": CacheStats.merge(*caches).as_dict(),
+            "dataset_version": version,
             "keywords": found["keywords"],
             "results": [entry for entry in entries if entry is not None],
             "total_matches": found["total"],
@@ -517,6 +536,130 @@ class ClusterRouter:
         if missing:
             merged["degraded"] = True
             merged["missing_shards"] = sorted(missing)
+        return 200, merged
+
+    def _mutate(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
+        """Owner-first transactional write, then broadcast to the replicas.
+
+        Every shard holds a full replica of the dataset, so a committed
+        transaction must reach all of them.  The shard owning the first
+        operation's ``(dataset, table, pk)`` commits first and its body is
+        the response — the client observes its own write on that shard
+        immediately (read-your-writes per shard).  A failure on the owner
+        aborts the whole request before any replica has seen it; a failure
+        mid-broadcast returns that shard's error (replicas may then lag
+        until the client retries — mutations never degrade silently).
+        """
+        owner = 0
+        if isinstance(payload, dict) and isinstance(payload.get("dataset"), str):
+            operations = payload.get("operations")
+            if isinstance(operations, (list, tuple)) and operations:
+                first = operations[0]
+                if isinstance(first, dict) and isinstance(first.get("table"), str):
+                    key = first.get("pk", first.get("values"))
+                    owner = self.ring.owner(
+                        payload["dataset"], first["table"], _stable_key(key)
+                    )
+        status, body = self._call(owner, "/v1/mutate", payload, budget)
+        if status != 200:
+            return status, body
+        replicas = [
+            shard
+            for shard in range(self.supervisor.shard_count)
+            if shard != owner
+        ]
+        if replicas:
+            replies = self._scatter(
+                [
+                    (lambda s=shard: self._call(s, "/v1/mutate", payload, budget))
+                    for shard in replicas
+                ]
+            )
+            for replica_status, replica_body in replies:
+                if replica_status != 200:
+                    return replica_status, replica_body
+        return status, body
+
+    def _watch_register(
+        self, payload: Any, budget: _Budget
+    ) -> tuple[int, dict[str, Any]]:
+        """Broadcast a watch registration under one router-minted id.
+
+        Every shard evaluates every commit it applies, so registering the
+        same watch id everywhere makes notifications available wherever a
+        later poll lands; the first shard's body (baseline top-k) answers.
+        """
+        if isinstance(payload, dict) and "watch_id" not in payload:
+            payload = dict(payload)
+            payload["watch_id"] = uuid.uuid4().hex[:16]
+        return self._broadcast("/v1/watch", payload, budget)
+
+    def _watch_poll(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
+        """Fan a poll out to every shard and merge by dataset version.
+
+        Replicas apply the same commits, so their notification streams
+        agree version-for-version; the merge dedupes on the version key
+        and a shard that lost its registry (restart) is simply outvoted by
+        the shards that still hold the watch.  Only when *no* shard knows
+        the watch does the 404 propagate.
+        """
+        shards = range(self.supervisor.shard_count)
+
+        def call_shard(shard: int) -> "tuple[int, dict[str, Any]] | None":
+            try:
+                return self._call(shard, "/v1/watch/poll", payload, budget)
+            except ShardUnavailableError:
+                return None
+
+        replies = self._scatter([(lambda s=shard: call_shard(s)) for shard in shards])
+        merged: dict[int, dict[str, Any]] = {}
+        version = 0
+        template: "dict[str, Any] | None" = None
+        failure: "tuple[int, dict[str, Any]] | None" = None
+        for reply in replies:
+            if reply is None:
+                continue
+            status, body = reply
+            if status != 200:
+                if failure is None:
+                    failure = (status, body)
+                continue
+            template = template if template is not None else body
+            version = max(version, int(body.get("dataset_version", 0)))
+            for notification in body.get("notifications", ()):
+                merged.setdefault(
+                    int(notification["dataset_version"]), notification
+                )
+        if template is None:
+            if failure is not None:
+                return failure
+            raise ShardUnavailableError(
+                0, "no shard could answer the watch poll"
+            )
+        return 200, {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": template["dataset"],
+            "watch_id": template["watch_id"],
+            "dataset_version": version,
+            "notifications": [merged[key] for key in sorted(merged)],
+        }
+
+    def _watch_cancel(
+        self, payload: Any, budget: _Budget
+    ) -> tuple[int, dict[str, Any]]:
+        """Broadcast a cancel; ``cancelled`` is true if any shard held it."""
+        shards = range(self.supervisor.shard_count)
+        replies = self._scatter(
+            [
+                (lambda s=shard: self._call(s, "/v1/watch/cancel", payload, budget))
+                for shard in shards
+            ]
+        )
+        for status, body in replies:
+            if status != 200:
+                return status, body
+        merged = dict(replies[0][1])
+        merged["cancelled"] = any(body.get("cancelled") for _s, body in replies)
         return 200, merged
 
     def _invalidate(self, payload: Any, budget: _Budget) -> tuple[int, dict[str, Any]]:
@@ -585,6 +728,14 @@ class ClusterRouter:
                 return self._invalidate(payload, budget)
             if endpoint == "/v1/admin/reload":
                 return self._broadcast("/v1/admin/reload", payload, budget)
+            if endpoint == "/v1/mutate":
+                return self._mutate(payload, budget)
+            if endpoint == "/v1/watch":
+                return self._watch_register(payload, budget)
+            if endpoint == "/v1/watch/poll":
+                return self._watch_poll(payload, budget)
+            if endpoint == "/v1/watch/cancel":
+                return self._watch_cancel(payload, budget)
             exc = UnknownEndpointError(endpoint)
             return 404, encode_error(exc, 404)
         except ShardUnavailableError as exc:
@@ -625,6 +776,39 @@ class ClusterRouter:
             name: CacheStats.merge(*counters)
             for name, counters in sorted(per_dataset.items())
         }
+
+    def live_stats_by_dataset(self) -> "dict[str, dict[str, int]]":
+        """Per-dataset live gauges, merged across shards with ``max``.
+
+        ``dataset_version`` takes the newest shard (during a mutation
+        broadcast shards briefly disagree; the scrape reports the front
+        of the convergence) and ``watch_active`` the largest registry —
+        watches are replicated everywhere, so on a healthy cluster the
+        shards agree and max is exact.
+        """
+        merged: dict[str, dict[str, int]] = {}
+        for shard in range(self.supervisor.shard_count):
+            try:
+                status, body = self.supervisor.request(
+                    shard, "/v1/stats", None, timeout=self.partial_patience
+                )
+            except ShardUnavailableError:
+                continue
+            if status != 200 or not isinstance(body, dict):
+                continue
+            for name, info in body.items():
+                if not isinstance(info, dict) or "dataset_version" not in info:
+                    continue
+                entry = merged.setdefault(
+                    name, {"dataset_version": 0, "watch_active": 0}
+                )
+                entry["dataset_version"] = max(
+                    entry["dataset_version"], int(info.get("dataset_version", 0))
+                )
+                entry["watch_active"] = max(
+                    entry["watch_active"], int(info.get("watch_active", 0))
+                )
+        return dict(sorted(merged.items()))
 
     def healthz(self) -> dict[str, Any]:
         """Cluster liveness: the router is up; per-shard detail inside.

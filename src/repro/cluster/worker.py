@@ -279,6 +279,7 @@ class WorkerServer(socketserver.ThreadingTCPServer):
                 for match in matches
             ],
             "total": len(matches),
+            "dataset_version": session.dataset_version,
         }
 
     # ------------------------------------------------------------------ #

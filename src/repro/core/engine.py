@@ -45,6 +45,7 @@ from repro.datagraph.graph import DataGraph
 from repro.db.database import Database
 from repro.db.query import QueryInterface
 from repro.errors import SummaryError
+from repro.live.locks import FrozenReadGuard
 from repro.ranking.store import ImportanceStore, annotate_gds
 from repro.reliability.deadline import check_deadline
 from repro.schema_graph.gds import GDS
@@ -109,6 +110,9 @@ class SizeLEngine:
             annotate_gds(gds, store)
         self._data_graph = data_graph
         self._data_graph_lock = threading.Lock()
+        # Swapped for the live state's ReadWriteLock once the dataset
+        # accepts writes; frozen datasets keep the zero-cost null guard.
+        self.live_guard = FrozenReadGuard()
         self.query_interface = QueryInterface(db)
         # search_index lets a snapshot supply its prebuilt (memory-mapped)
         # inverted index instead of paying the tokenizing build scan here.
@@ -182,13 +186,14 @@ class SizeLEngine:
         depth_limit: int | None = None,
     ) -> ObjectSummary:
         """Generate the complete OS of a Data Subject (Algorithm 5)."""
-        return generate_os(
-            row_id,
-            self.gds_for(rds_table),
-            self.backend(backend),
-            self.store,
-            depth_limit=depth_limit,
-        )
+        with self.live_guard.read():
+            return generate_os(
+                row_id,
+                self.gds_for(rds_table),
+                self.backend(backend),
+                self.store,
+                depth_limit=depth_limit,
+            )
 
     def complete_os_flat(
         self,
@@ -202,13 +207,14 @@ class SizeLEngine:
         (node i == legacy uid i), flat numpy arrays instead of one
         ``OSNode`` per tuple.  Only the data-graph backend supports this.
         """
-        return generate_os_flat(
-            row_id,
-            self.gds_for(rds_table),
-            DataGraphBackend(self.db, self.data_graph),
-            self.store,
-            depth_limit=depth_limit,
-        )
+        with self.live_guard.read():
+            return generate_os_flat(
+                row_id,
+                self.gds_for(rds_table),
+                DataGraphBackend(self.db, self.data_graph),
+                self.store,
+                depth_limit=depth_limit,
+            )
 
     def prelim_os(
         self,
@@ -220,14 +226,15 @@ class SizeLEngine:
     ) -> tuple[ObjectSummary, PrelimStats]:
         """Generate the top-l prelim-l OS of a Data Subject (Algorithm 4)."""
         validate_l(l)
-        return generate_prelim_os(
-            row_id,
-            self.gds_for(rds_table),
-            self.backend(backend),
-            self.store,
-            l,
-            depth_limit=depth_limit,
-        )
+        with self.live_guard.read():
+            return generate_prelim_os(
+                row_id,
+                self.gds_for(rds_table),
+                self.backend(backend),
+                self.store,
+                l,
+                depth_limit=depth_limit,
+            )
 
     # ------------------------------------------------------------------ #
     # Size-l computation
@@ -352,7 +359,8 @@ class SizeLEngine:
         Session's parallel fan-out both start from it.
         """
         check_deadline()
-        matches = self.searcher.search(keywords)
+        with self.live_guard.read():
+            matches = self.searcher.search(keywords)
         if options.max_results is not None:
             matches = matches[: options.max_results]
         return matches

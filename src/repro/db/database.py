@@ -6,6 +6,7 @@ import threading
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.db.index import HashIndex
+from repro.db.mutation import CommitResult, Delete, Insert, RowChange, Update
 from repro.db.schema import ForeignKey, TableSchema
 from repro.db.table import Table
 from repro.errors import IntegrityError, SchemaError, UnknownTableError
@@ -30,6 +31,12 @@ class Database:
         self._tables: dict[str, Table] = {}
         self._indexes: dict[tuple[str, str], HashIndex] = {}
         self._index_lock = threading.Lock()
+        #: monotone dataset version, bumped once per committed transaction
+        #: (bulk loads via :meth:`insert`/:meth:`insert_many` do not bump
+        #: it — version 0 means "as built", which is what keeps response
+        #: bodies byte-identical across topologies until a write happens)
+        self._data_version = 0
+        self._txn_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Catalog
@@ -124,6 +131,125 @@ class Database:
     ) -> list[int]:
         table = self.table(table_name)
         return [table.insert(row) for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Transactional mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def data_version(self) -> int:
+        return self._data_version
+
+    def update(self, table_name: str, pk: Any, changes: Mapping[str, Any]) -> CommitResult:
+        """Update one row (by primary key) as a single-op transaction."""
+        return self.apply_transaction([Update(table_name, pk, changes)])
+
+    def delete(self, table_name: str, pk: Any) -> CommitResult:
+        """Delete one row (by primary key) as a single-op transaction."""
+        return self.apply_transaction([Delete(table_name, pk)])
+
+    def apply_transaction(
+        self, operations: "Sequence[Insert | Update | Delete]"
+    ) -> CommitResult:
+        """Apply *operations* in order, atomically.
+
+        Each op sees the state left by the previous ones (an insert may
+        reference a row inserted earlier in the same transaction; a delete
+        frees its PK for re-insertion).  After the last op, scoped FK
+        integrity is checked: every touched row's outgoing FKs must
+        resolve, and no deleted row may still be referenced by a live row
+        (FK-restrict).  Any failure — validation, duplicate PK, dangling
+        FK — rolls every op back via the undo log and re-raises; the
+        database is exactly as it was.
+
+        On success the dataset version is bumped and returned with the
+        ordered :class:`~repro.db.mutation.RowChange` records.
+        """
+        if not operations:
+            raise IntegrityError("a transaction needs at least one operation")
+        with self._txn_lock:
+            changes: list[RowChange] = []
+            try:
+                for op in operations:
+                    changes.append(self._apply_one(op))
+                self._check_touched(changes)
+            except Exception:
+                for change in reversed(changes):
+                    self._undo_one(change)
+                raise
+            self._data_version += 1
+            return CommitResult(self._data_version, tuple(changes))
+
+    def _apply_one(self, op: "Insert | Update | Delete") -> RowChange:
+        if isinstance(op, Insert):
+            table = self.table(op.table)
+            row_id = table.insert(op.values)
+            return RowChange("insert", op.table, row_id, None, table.row(row_id))
+        if isinstance(op, Update):
+            table = self.table(op.table)
+            row_id = self._resolve_pk(table, op.pk)
+            old_row, new_row = table.update_row(row_id, op.changes)
+            return RowChange("update", op.table, row_id, old_row, new_row)
+        if isinstance(op, Delete):
+            table = self.table(op.table)
+            row_id = self._resolve_pk(table, op.pk)
+            old_row = table.delete_row(row_id)
+            return RowChange("delete", op.table, row_id, old_row, None)
+        raise IntegrityError(f"unknown mutation operation: {op!r}")
+
+    @staticmethod
+    def _resolve_pk(table: Table, pk: Any) -> int:
+        try:
+            return table.row_id_for_pk(pk)
+        except KeyError:
+            raise IntegrityError(
+                f"no row with primary key {pk!r} in table {table.name!r}"
+            ) from None
+
+    def _undo_one(self, change: RowChange) -> None:
+        table = self.table(change.table)
+        if change.op == "insert":
+            table._undo_insert(change.row_id)
+        elif change.op == "update":
+            assert change.old_row is not None and change.new_row is not None
+            table._apply_replace(change.row_id, change.new_row, change.old_row)
+        else:  # delete
+            assert change.old_row is not None
+            table._undo_delete(change.row_id, change.old_row)
+
+    def _check_touched(self, changes: "list[RowChange]") -> None:
+        """Scoped FK integrity over the transaction's end state.
+
+        O(changes × FKs), not O(database): outgoing FKs are checked per
+        touched live row, and incoming references to deleted rows are
+        checked through hash indexes on the referencing columns (built on
+        demand; FK columns are typically indexed already).
+        """
+        for change in changes:
+            table = self.table(change.table)
+            if change.new_row is not None and not table.is_deleted(change.row_id):
+                # a later op may have re-updated or deleted this row; check
+                # the *current* tuple, not the one this change installed
+                row = table.row(change.row_id)
+                for fk in table.schema.foreign_keys:
+                    value = row[table.schema.column_index(fk.column)]
+                    if value is None:
+                        continue
+                    if not self.table(fk.ref_table).has_pk(value):
+                        raise IntegrityError(
+                            f"dangling FK: {change.table}.{fk.column}={value!r} "
+                            f"(row {change.row_id}) has no match in {fk.ref_table}"
+                        )
+            if change.op == "delete" and change.old_row is not None:
+                if table.is_deleted(change.row_id):
+                    pk_value = change.old_row[table.schema.pk_index]
+                    if table.has_pk(pk_value):
+                        continue  # pk re-inserted later in this transaction
+                    for owner, fk in self.foreign_keys_into(change.table):
+                        if self.index_on(owner, fk.column).lookup(pk_value):
+                            raise IntegrityError(
+                                f"cannot delete {change.table} pk={pk_value!r}: "
+                                f"still referenced by {owner}.{fk.column}"
+                            )
 
     def validate_integrity(self) -> None:
         """Check every FK value resolves to an existing referenced PK.

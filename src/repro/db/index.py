@@ -37,6 +37,29 @@ class HashIndex:
             return
         self._buckets.setdefault(value, []).append(row_id)
 
+    def remove_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        """Drop one row's entry (called by the table on update/delete).
+
+        Robust by design: a NULL value was never indexed, and a missing
+        bucket or absent row id is a no-op rather than an error — an index
+        attached after a row was removed must not poison the mutation path.
+        Only the first occurrence of *row_id* is dropped, mirroring the one
+        entry :meth:`add_row` appended; duplicate values across different
+        rows keep their remaining entries.
+        """
+        value = row[self._col_idx]
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row_id)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[value]
+
     def lookup(self, value: Any) -> list[int]:
         """Return row ids whose column equals *value* (insertion order)."""
         return self._buckets.get(value, [])

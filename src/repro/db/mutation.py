@@ -1,0 +1,131 @@
+"""Mutation operations and commit records for transactional writes.
+
+A transaction is an ordered sequence of :class:`Insert` / :class:`Update`
+/ :class:`Delete` operations applied atomically by
+:meth:`~repro.db.database.Database.apply_transaction`: every operation is
+applied in order against the in-progress state (so an insert may
+reference a row inserted two ops earlier, and a delete frees its primary
+key for re-insertion later in the same transaction), scoped FK integrity
+is checked against the end state, and any failure rolls the whole
+sequence back via the undo log.
+
+The commit returns a :class:`CommitResult` whose :class:`RowChange`
+records carry enough state (op, table, row id, old/new tuples) for the
+live maintenance layer (:mod:`repro.live`) to patch derived structures —
+CSR adjacency deltas, inverted-index postings, dirty-subject walks —
+without rescanning the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import RequestValidationError
+
+__all__ = [
+    "Insert",
+    "Update",
+    "Delete",
+    "Mutation",
+    "RowChange",
+    "CommitResult",
+    "decode_operation",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert one row (``values`` maps column name to value)."""
+
+    table: str
+    values: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Update:
+    """Update columns of the row whose primary key is ``pk``."""
+
+    table: str
+    pk: Any
+    changes: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete the row whose primary key is ``pk`` (FK-restrict)."""
+
+    table: str
+    pk: Any
+
+
+Mutation = "Insert | Update | Delete"
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """One applied operation, with before/after row state.
+
+    ``old_row`` is ``None`` for inserts, ``new_row`` is ``None`` for
+    deletes; updates carry both.
+    """
+
+    op: str  # "insert" | "update" | "delete"
+    table: str
+    row_id: int
+    old_row: "tuple[Any, ...] | None"
+    new_row: "tuple[Any, ...] | None"
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """A committed transaction: the new dataset version + its changes."""
+
+    version: int
+    changes: tuple[RowChange, ...] = field(default_factory=tuple)
+
+    @property
+    def applied(self) -> int:
+        return len(self.changes)
+
+
+def decode_operation(entry: Any, *, index: int = 0) -> "Insert | Update | Delete":
+    """Decode one wire-shaped operation dict into a typed op.
+
+    Strict by the protocol's convention: unknown fields, missing fields,
+    and bad types all raise :class:`~repro.errors.RequestValidationError`
+    naming the offending operation index.
+    """
+
+    def bad(reason: str) -> RequestValidationError:
+        return RequestValidationError(f"operations[{index}]: {reason}")
+
+    if not isinstance(entry, dict):
+        raise bad(f"expected an object, got {type(entry).__name__}")
+    op = entry.get("op")
+    if op not in ("insert", "update", "delete"):
+        raise bad(f"field 'op' must be 'insert', 'update', or 'delete', got {op!r}")
+    table = entry.get("table")
+    if not isinstance(table, str) or not table:
+        raise bad("field 'table' must be a non-empty string")
+    allowed = {
+        "insert": {"op", "table", "values"},
+        "update": {"op", "table", "pk", "set"},
+        "delete": {"op", "table", "pk"},
+    }[op]
+    unknown = set(entry) - allowed
+    if unknown:
+        raise bad(f"unknown fields for op {op!r}: {sorted(unknown)}")
+    if op == "insert":
+        values = entry.get("values")
+        if not isinstance(values, dict) or not values:
+            raise bad("field 'values' must be a non-empty object")
+        return Insert(table=table, values=values)
+    if "pk" not in entry:
+        raise bad(f"op {op!r} requires field 'pk'")
+    if op == "update":
+        changes = entry.get("set")
+        if not isinstance(changes, dict) or not changes:
+            raise bad("field 'set' must be a non-empty object")
+        return Update(table=table, pk=entry["pk"], changes=changes)
+    return Delete(table=table, pk=entry["pk"])

@@ -233,4 +233,13 @@ class UnknownDatasetError(ServiceError):
     def __init__(self, name: str, available: "list[str] | None" = None) -> None:
         hint = f"; hosted datasets: {sorted(available)}" if available else ""
         super().__init__(f"unknown dataset {name!r}{hint}")
-        self.name = name
+
+
+class UnknownWatchError(ServiceError):
+    """Raised when a ``/v1/watch`` poll or cancel names a watch id the
+    dataset's live state does not hold (never registered, cancelled, or a
+    different dataset's).  The HTTP front end maps this to status 404."""
+
+    def __init__(self, watch_id: str) -> None:
+        super().__init__(f"unknown watch id {watch_id!r}")
+        self.watch_id = watch_id

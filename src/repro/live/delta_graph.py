@@ -1,0 +1,223 @@
+"""Delta arenas over the CSR data graph: writes without rebuilds.
+
+The frozen :class:`~repro.datagraph.graph.FkAdjacency` arrays stay
+untouched; a :class:`LiveAdjacency` layers the mutable state over them:
+
+* ``forward`` becomes a private, writable, *growable* copy the first time
+  the edge is touched — fancy indexing (``adj.forward[parent_rows]``,
+  the columnar generation hot path) keeps working unchanged because the
+  array is always current;
+* the backward direction keeps the base CSR and merges small per-target
+  ``added`` / ``removed`` overlays at read time, preserving the
+  ascending-row-order contract of :meth:`backward`.
+
+An untouched edge pays nothing: ``backward_many`` takes the vectorized
+CSR fast path until the first overlay entry appears, and again after
+:meth:`LiveDataGraph.compacted` folds the deltas into a fresh frozen CSR
+generation (one ``bincount`` + ``argsort`` per edge — the same kernel the
+offline builder uses, reusing the already-current forward array).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.datagraph.builder import _csr_from_forward
+from repro.datagraph.graph import DataGraph, FkAdjacency
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+    from repro.db.mutation import RowChange
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int32)
+
+
+class LiveAdjacency(FkAdjacency):
+    """One FK edge with a mutable overlay (see module docstring)."""
+
+    def __init__(self, base: FkAdjacency) -> None:
+        super().__init__(
+            owner=base.owner,
+            column=base.column,
+            target=base.target,
+            forward=base.forward,
+            backward_indptr=base.backward_indptr,
+            backward_indices=base.backward_indices,
+        )
+        self._base_target_count = len(base.backward_indptr) - 1
+        self._writable = False
+        #: per-target overlays; lists stay sorted ascending, entries are
+        #: pruned when they empty so "no overlays" re-enables fast paths
+        self._added: dict[int, list[int]] = {}
+        self._removed: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _ensure_writable(self, owner_size: int) -> None:
+        if not self._writable:
+            self.forward = np.array(self.forward, dtype=np.int32, copy=True)
+            self._writable = True
+        if owner_size > len(self.forward):
+            grown = np.full(owner_size, -1, dtype=np.int32)
+            grown[: len(self.forward)] = self.forward
+            self.forward = grown
+
+    def set_forward(self, owner_row: int, target_row: int) -> None:
+        """Point *owner_row* at *target_row* (-1 for NULL), patching both
+        directions."""
+        self._ensure_writable(owner_row + 1)
+        old = int(self.forward[owner_row])
+        if old == target_row:
+            return
+        self.forward[owner_row] = target_row
+        if old >= 0:
+            self._unlink(owner_row, old)
+        if target_row >= 0:
+            self._link(owner_row, target_row)
+
+    def _link(self, owner_row: int, target_row: int) -> None:
+        removed = self._removed.get(target_row)
+        if removed and owner_row in removed:
+            removed.discard(owner_row)
+            if not removed:
+                del self._removed[target_row]
+            return
+        insort(self._added.setdefault(target_row, []), owner_row)
+
+    def _unlink(self, owner_row: int, target_row: int) -> None:
+        added = self._added.get(target_row)
+        if added and owner_row in added:
+            added.remove(owner_row)
+            if not added:
+                del self._added[target_row]
+            return
+        self._removed.setdefault(target_row, set()).add(owner_row)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._added or self._removed)
+
+    # ------------------------------------------------------------------ #
+    # Reads (merge overlays; ascending order preserved)
+    # ------------------------------------------------------------------ #
+    def backward(self, target_row: int) -> np.ndarray:
+        if target_row < self._base_target_count:
+            base = self.backward_indices[
+                self.backward_indptr[target_row] : self.backward_indptr[
+                    target_row + 1
+                ]
+            ]
+        else:
+            base = _EMPTY_ROWS
+        added = self._added.get(target_row)
+        removed = self._removed.get(target_row)
+        if not added and not removed:
+            return base
+        rows = (
+            [r for r in base.tolist() if r not in removed]
+            if removed
+            else base.tolist()
+        )
+        if added:
+            rows.extend(added)
+            rows.sort()
+        return np.array(rows, dtype=np.int32)
+
+    def backward_many(
+        self, target_rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self.dirty and (
+            target_rows.size == 0
+            or int(target_rows.max()) < self._base_target_count
+        ):
+            return super().backward_many(target_rows)
+        rep_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        for pos, target in enumerate(np.asarray(target_rows).tolist()):
+            rows = self.backward(int(target))
+            if rows.size:
+                rep_parts.append(np.full(rows.size, pos, dtype=np.int64))
+                row_parts.append(rows)
+        if not row_parts:
+            return np.empty(0, dtype=np.int64), _EMPTY_ROWS
+        return np.concatenate(rep_parts), np.concatenate(row_parts)
+
+    @property
+    def edge_count(self) -> int:
+        delta = sum(len(v) for v in self._added.values()) - sum(
+            len(v) for v in self._removed.values()
+        )
+        return int(self.backward_indices.size) + delta
+
+    def compacted(self, owner_size: int, target_size: int) -> FkAdjacency:
+        """Fold the overlays into a fresh frozen CSR adjacency."""
+        forward = np.full(owner_size, -1, dtype=np.int32)
+        span = min(owner_size, len(self.forward))
+        forward[:span] = self.forward[:span]
+        indptr, indices = _csr_from_forward(forward, target_size)
+        forward.flags.writeable = False
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        return FkAdjacency(
+            owner=self.owner,
+            column=self.column,
+            target=self.target,
+            forward=forward,
+            backward_indptr=indptr,
+            backward_indices=indices,
+        )
+
+
+class LiveDataGraph(DataGraph):
+    """The data graph with every adjacency wrapped for incremental writes."""
+
+    def __init__(self, base: DataGraph, db: "Database") -> None:
+        super().__init__(
+            {
+                (adj.owner, adj.column): LiveAdjacency(adj)
+                for adj in base.adjacencies()
+            }
+        )
+        self.db = db
+
+    def apply_changes(self, changes: "tuple[RowChange, ...]") -> None:
+        """Patch edges to match the committed *changes* (net effect).
+
+        Later changes to the same row win (a transaction may update then
+        delete a row); the committed database state is the source of truth
+        for resolving FK primary keys to row ids.
+        """
+        finals: dict[tuple[str, int], "tuple | None"] = {}
+        for change in changes:
+            finals[(change.table, change.row_id)] = change.new_row
+        for (table_name, row_id), final in finals.items():
+            schema = self.db.table(table_name).schema
+            for fk in schema.foreign_keys:
+                adj = self._adj.get((table_name, fk.column))
+                if adj is None:
+                    continue
+                if final is None:
+                    target_row = -1
+                else:
+                    value = final[schema.column_index(fk.column)]
+                    target_row = (
+                        -1
+                        if value is None
+                        else self.db.table(fk.ref_table).row_id_for_pk(value)
+                    )
+                adj.set_forward(row_id, target_row)
+
+    def compacted(self) -> DataGraph:
+        """A fresh frozen-CSR generation reflecting every applied delta."""
+        return DataGraph(
+            {
+                key: adj.compacted(
+                    len(self.db.table(adj.owner)), len(self.db.table(adj.target))
+                )
+                for key, adj in self._adj.items()
+            }
+        )

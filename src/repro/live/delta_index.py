@@ -1,0 +1,122 @@
+"""Delta postings over any inverted index: token-level write maintenance.
+
+A :class:`LiveInvertedIndex` wraps either build-path or snapshot-path
+index (:class:`~repro.search.inverted_index.InvertedIndex` /
+:class:`~repro.search.inverted_index.ArrayInvertedIndex` — anything with
+``lookup``) and merges per-token ``added`` / ``removed`` posting sets at
+read time.  A mutation's token delta is the set difference between the
+old and new row's searchable-column token sets, so an update that keeps
+a token (moves it between columns, say) generates no overlay entry at
+all.  :meth:`rebuilt` drops the overlays by scanning a fresh base index —
+the compaction path, invoked by the live state, not per write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.db.schema import TableSchema
+from repro.search.inverted_index import BaseInvertedIndex, Posting
+from repro.search.tokenizer import tokenize
+
+
+def row_tokens(schema: TableSchema, row: "tuple[Any, ...] | None") -> set[str]:
+    """The token set of one row's searchable columns (empty for ``None``)."""
+    if row is None:
+        return set()
+    tokens: set[str] = set()
+    for column in schema.searchable_columns():
+        value = row[schema.column_index(column.name)]
+        if not value:
+            continue
+        tokens.update(tokenize(str(value)))
+    return tokens
+
+
+class LiveInvertedIndex(BaseInvertedIndex):
+    """An inverted index plus its in-memory write overlay."""
+
+    def __init__(self, base: BaseInvertedIndex, tables: Iterable[str]) -> None:
+        self.base = base
+        self.tables = list(tables)
+        self._added: dict[str, set[Posting]] = {}
+        self._removed: dict[str, set[Posting]] = {}
+
+    @property
+    def vocabulary_size(self) -> int:
+        base = getattr(self.base, "vocabulary_size", 0)
+        return int(base) + sum(1 for t in self._added if not self.base.lookup(t))
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._added or self._removed)
+
+    def lookup(self, token: str) -> set[Posting]:
+        token = token.lower()
+        postings = self.base.lookup(token)
+        removed = self._removed.get(token)
+        if removed:
+            postings -= removed
+        added = self._added.get(token)
+        if added:
+            postings |= added
+        return postings
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def apply_row(
+        self,
+        table: str,
+        row_id: int,
+        schema: TableSchema,
+        old_row: "tuple[Any, ...] | None",
+        new_row: "tuple[Any, ...] | None",
+    ) -> set[str]:
+        """Patch postings for one row transition; returns the touched tokens."""
+        old_tokens = row_tokens(schema, old_row)
+        new_tokens = row_tokens(schema, new_row)
+        posting = Posting(table, row_id)
+        for token in old_tokens - new_tokens:
+            added = self._added.get(token)
+            if added and posting in added:
+                added.discard(posting)
+                if not added:
+                    del self._added[token]
+            else:
+                self._removed.setdefault(token, set()).add(posting)
+        for token in new_tokens - old_tokens:
+            removed = self._removed.get(token)
+            if removed and posting in removed:
+                removed.discard(posting)
+                if not removed:
+                    del self._removed[token]
+            else:
+                self._added.setdefault(token, set()).add(posting)
+        return old_tokens ^ new_tokens
+
+    def rebuilt(self, base: BaseInvertedIndex) -> "LiveInvertedIndex":
+        """A fresh overlay over a recompacted base index."""
+        return LiveInvertedIndex(base, self.tables)
+
+    def to_arrays(self) -> Any:
+        """Delegate snapshot encoding to the base — only when clean.
+
+        Snapshots must capture a compacted generation; encoding while
+        overlay entries exist would silently drop them."""
+        if self.dirty:
+            from repro.errors import PersistError
+
+            raise PersistError(
+                "cannot snapshot a live inverted index with pending write "
+                "overlays; compact the live state first"
+            )
+        to_arrays = getattr(self.base, "to_arrays", None)
+        if to_arrays is None:
+            from repro.errors import PersistError
+
+            raise PersistError(
+                f"base index {type(self.base).__name__} does not support "
+                "array encoding"
+            )
+        return to_arrays()

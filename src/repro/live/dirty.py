@@ -1,0 +1,105 @@
+"""Dirty-subject tracking: which Object Summaries did a mutation touch?
+
+An OS is a join tree rooted at a data subject; a mutated tuple appears in
+exactly the summaries whose G_DS path can reach it.  Rather than
+invalidating every subject whose table matches (the pre-live behavior),
+we *invert* each G_DS join and climb from the touched tuple to the root:
+
+* ``RefJoin`` (parent → child via parent's FK): the inverse is the FK's
+  CSR ``backward`` slice — parents pointing at the child;
+* ``ReverseJoin`` (children reference the parent): the inverse is one
+  ``forward`` lookup — the child's FK value names its parent;
+* ``JunctionJoin``: junction rows referencing the child, gathered through
+  the junction's parent-side FK.
+
+The walk runs against a graph *state* (the live delta-overlaid graph),
+and the caller runs it twice per commit — once on the pre-mutation edges
+and once post — so a re-pointed FK dirties both its old and new subjects.
+Junction-table rows never appear as G_DS nodes; they seed the walk at the
+junction node's parent directly through the junction's own FK values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.schema_graph.gds import GDS, GDSNode, JunctionJoin, RefJoin, ReverseJoin
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datagraph.graph import DataGraph
+
+
+def _step_up(graph: "DataGraph", node: GDSNode, rows: set[int]) -> set[int]:
+    """Row ids at ``node.parent`` whose *join* children include *rows*."""
+    join = node.join
+    assert node.parent is not None and join is not None
+    parents: set[int] = set()
+    if isinstance(join, RefJoin):
+        adj = graph.adjacency(node.parent.table, join.fk_column)
+        for row in rows:
+            parents.update(int(r) for r in adj.backward(row))
+    elif isinstance(join, ReverseJoin):
+        adj = graph.adjacency(join.child_table, join.fk_column)
+        for row in rows:
+            if 0 <= row < len(adj.forward):
+                parent = int(adj.forward[row])
+                if parent >= 0:
+                    parents.add(parent)
+    elif isinstance(join, JunctionJoin):
+        into_parent = graph.adjacency(join.junction_table, join.from_column)
+        to_child = graph.adjacency(join.junction_table, join.to_column)
+        for row in rows:
+            for junction_row in to_child.backward(row):
+                if 0 <= junction_row < len(into_parent.forward):
+                    parent = int(into_parent.forward[junction_row])
+                    if parent >= 0:
+                        parents.add(parent)
+    else:  # pragma: no cover - exhaustive over JoinSpec
+        raise TypeError(f"unknown join spec: {join!r}")
+    return parents
+
+
+def _climb(graph: "DataGraph", node: GDSNode, rows: set[int]) -> set[int]:
+    """Subject (root) rows reached by climbing from *rows* at *node*."""
+    while node.parent is not None and rows:
+        rows = _step_up(graph, node, rows)
+        node = node.parent
+    return rows
+
+
+def dirty_subjects(
+    gds_by_root: Mapping[str, GDS],
+    graph: "DataGraph",
+    touched: Iterable[tuple[str, int]],
+) -> set[tuple[str, int]]:
+    """``(root_table, subject_row)`` pairs whose OS contains a touched row.
+
+    *touched* is (table, row_id) pairs under the supplied graph state.
+    """
+    subjects: set[tuple[str, int]] = set()
+    by_table: dict[str, set[int]] = {}
+    for table, row_id in touched:
+        by_table.setdefault(table, set()).add(row_id)
+    for root_table, gds in gds_by_root.items():
+        for node in gds.root.walk():
+            rows = by_table.get(node.table)
+            if rows:
+                for subject in _climb(graph, node, set(rows)):
+                    subjects.add((root_table, subject))
+            # junction rows are invisible as nodes: seed at the parent
+            join = node.join
+            if isinstance(join, JunctionJoin) and node.parent is not None:
+                junction_rows = by_table.get(join.junction_table)
+                if junction_rows:
+                    into_parent = graph.adjacency(
+                        join.junction_table, join.from_column
+                    )
+                    seeds = set()
+                    for row in junction_rows:
+                        if 0 <= row < len(into_parent.forward):
+                            parent = int(into_parent.forward[row])
+                            if parent >= 0:
+                                seeds.add(parent)
+                    for subject in _climb(graph, node.parent, seeds):
+                        subjects.add((root_table, subject))
+    return subjects

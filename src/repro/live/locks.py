@@ -1,0 +1,217 @@
+"""Reader-writer coordination between queries and mutation commits.
+
+Queries (OS generation, keyword search) read the delta-overlaid derived
+structures at many points; a mutation commit patches all of them.  The
+:class:`ReadWriteLock` gives each side what it needs: any number of
+concurrent readers, one writer at a time, and — critically — *atomic
+visibility*: a reader entering before a commit sees the pre-mutation
+state throughout, a reader entering after sees the post-mutation state,
+and no reader ever observes a half-applied commit.  That is exactly the
+"pre or post, never torn" guarantee the live hammer suite pins.
+
+Both sides are re-entrant per thread (generation nests read sections;
+the writer re-enters reads while re-evaluating watches), so the lock
+tracks a per-thread read depth and lets the writing thread read freely.
+
+:class:`FrozenReadGuard` is the near-zero-cost stand-in installed while
+a dataset has no live state: engines always guard their read sections,
+but before any write is possible the guard only counts readers in and
+out.  The count is what makes *activation* safe — the first-ever
+mutation upgrades the guard to the real lock and then drains the
+readers that entered under the frozen one, closing the window where a
+query in flight across the upgrade could race the first commit.
+
+:data:`NULL_GUARD` remains the truly free no-op guard for contexts that
+can never upgrade (ad-hoc engines in tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class _NullGuard:
+    """No-op guard for frozen (never-mutated) datasets."""
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        yield
+
+
+NULL_GUARD = _NullGuard()
+
+
+class FrozenReadGuard:
+    """Counting read guard for a not-yet-mutable engine.
+
+    Reads never block — they increment a counter on entry and decrement
+    on exit.  :meth:`upgrade` is called exactly once, by live-state
+    activation, *before* the first write: it redirects all future (and
+    in-progress re-entrant) readers to the real lock and then waits for
+    the counted pre-upgrade readers to drain.  Only after that drain can
+    the first commit take the write lock, so no reader ever straddles
+    the frozen/live boundary unguarded.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._count = 0
+        self._upgraded: "ReadWriteLock | None" = None
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            upgraded = self._upgraded
+            if upgraded is None:
+                self._count += 1
+                self._local.depth = self._depth() + 1
+        if upgraded is not None:
+            # the engine froze over: this section runs under the real lock
+            with upgraded.read():
+                yield
+            return
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._count -= 1
+                self._local.depth -= 1
+                if self._count == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Writes only exist after an upgrade; delegate when one happened."""
+        upgraded = self._upgraded
+        if upgraded is None:
+            raise RuntimeError(
+                "FrozenReadGuard cannot take writes before upgrade()"
+            )
+        with upgraded.write():
+            yield
+
+    def upgrade(self, lock: "ReadWriteLock") -> None:
+        """Install the real lock, then drain every pre-upgrade reader.
+
+        The activating thread's own re-entrant reads (if any) are
+        discounted — draining them would deadlock the activation that
+        sits inside them.
+        """
+        with self._cond:
+            self._upgraded = lock
+            while self._count - self._depth() > 0:
+                self._cond.wait()
+
+
+class ReadWriteLock:
+    """Re-entrant many-readers / one-writer lock.
+
+    Readers are admitted whenever no writer holds the lock (a thread that
+    already holds a read — or the write — is admitted unconditionally, so
+    nesting can never deadlock against a waiting writer).  A writer waits
+    for exclusivity: no other writer, then no remaining readers.
+    """
+
+    #: how long a fresh reader defers to a waiting writer (seconds) —
+    #: bounded, so a read taken on behalf of a request that already
+    #: holds one can never deadlock, but wide enough that sustained
+    #: read load cannot starve the write path
+    WRITER_GRACE = 0.05
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: "int | None" = None
+        self._write_depth = 0
+        self._write_waiters = 0
+        self._local = threading.local()
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        me = threading.get_ident()
+        depth = self._read_depth()
+        if depth or self._writer == me:
+            # nested read, or the writer reading its own commit: free
+            self._local.depth = depth + 1
+            try:
+                yield
+            finally:
+                self._local.depth -= 1
+            return
+        with self._cond:
+            if self._write_waiters and self._writer is None:
+                # a writer is draining: pause (bounded) so the reader
+                # count can reach zero and the writer can claim
+                deadline = time.monotonic() + self.WRITER_GRACE
+                while self._write_waiters and self._writer is None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            while self._writer is not None:
+                self._cond.wait()
+            self._readers += 1
+        self._local.depth = 1
+        try:
+            yield
+        finally:
+            self._local.depth = 0
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive section; claimed only once every reader has drained.
+
+        Deliberately *not* writer-priority: a request may fan work out to
+        pool threads that take their own read sections while the request's
+        thread already holds one — a writer that blocked new readers while
+        draining would deadlock against that. Claim-after-drain admits
+        readers until the writer actually holds the lock, trading
+        potential writer delay under sustained read load for
+        deadlock-freedom across cooperating threads.  The bounded
+        :data:`WRITER_GRACE` pause fresh readers take while a writer
+        drains is what keeps that delay finite: sustained read traffic
+        defers just long enough for the count to reach zero, but a
+        cooperating thread is never blocked indefinitely.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+            else:
+                # if this thread itself holds a read it contributed one
+                # unit to the reader count — discount it
+                mine = 1 if self._read_depth() else 0
+                self._write_waiters += 1
+                try:
+                    while self._writer is not None or self._readers - mine > 0:
+                        self._cond.wait()
+                finally:
+                    self._write_waiters -= 1
+                self._writer = me
+                self._write_depth = 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._write_depth -= 1
+                if self._write_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()

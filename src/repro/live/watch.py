@@ -1,0 +1,170 @@
+"""Continual keyword queries: registered top-k watches over a live dataset.
+
+A watch is a registered keyword query plus its last-delivered ranked
+top-k match list.  On every committed transaction the live state asks the
+registry to re-evaluate — but only the watches whose token sets intersect
+the commit's touched tokens can possibly change (match membership is a
+pure function of the inverted index, and importance is frozen between
+compactions), so an irrelevant write re-ranks nothing.  When a watch's
+top-k differs from the last delivered list, a versioned notification is
+queued and every long-poller is woken.
+
+Pollers use ``after_version`` cursors: :meth:`poll` blocks until a
+notification newer than the cursor exists (or the timeout lapses), then
+returns *all* queued notifications newer than the cursor — so a slow
+poller sees every intermediate top-k change up to the retention cap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RequestValidationError, UnknownWatchError
+from repro.search.tokenizer import tokenize
+
+#: Queued notifications kept per watch; older ones are dropped (a poller
+#: that lags further behind re-syncs from the newest retained entry).
+MAX_NOTIFICATIONS = 128
+
+
+@dataclass
+class Watch:
+    """One registered continual query and its delivery state."""
+
+    watch_id: str
+    keywords: tuple[str, ...]
+    k: int
+    tokens: frozenset[str]
+    last_top: list[dict[str, Any]]
+    #: queued (dataset_version, top_k) deliveries, oldest first
+    notifications: list[dict[str, Any]] = field(default_factory=list)
+    cancelled: bool = False
+
+
+class WatchRegistry:
+    """All watches of one dataset's live state."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._watches: dict[str, Watch] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration lifecycle
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        keywords: "list[str] | tuple[str, ...]",
+        k: int,
+        initial_top: list[dict[str, Any]],
+        *,
+        watch_id: "str | None" = None,
+    ) -> Watch:
+        """Create a watch seeded with its initial top-k (already evaluated).
+
+        ``watch_id`` lets the cluster router pre-assign one id and
+        broadcast it to every shard; single-process callers get a fresh id.
+        """
+        tokens: set[str] = set()
+        for keyword in keywords:
+            tokens.update(tokenize(keyword))
+        if not tokens:
+            raise RequestValidationError(
+                "field 'keywords' must contain at least one indexable token"
+            )
+        watch = Watch(
+            watch_id=watch_id if watch_id else uuid.uuid4().hex[:16],
+            keywords=tuple(keywords),
+            k=int(k),
+            tokens=frozenset(tokens),
+            last_top=list(initial_top),
+        )
+        with self._cond:
+            if watch.watch_id in self._watches:
+                raise RequestValidationError(
+                    f"watch id already registered: {watch.watch_id!r}"
+                )
+            self._watches[watch.watch_id] = watch
+        return watch
+
+    def get(self, watch_id: str) -> Watch:
+        with self._cond:
+            watch = self._watches.get(watch_id)
+        if watch is None:
+            raise UnknownWatchError(watch_id)
+        return watch
+
+    def cancel(self, watch_id: str) -> bool:
+        """Cancel and remove a watch; wakes its pollers. False if unknown."""
+        with self._cond:
+            watch = self._watches.pop(watch_id, None)
+            if watch is None:
+                return False
+            watch.cancelled = True
+            self._cond.notify_all()
+        return True
+
+    @property
+    def active_count(self) -> int:
+        with self._cond:
+            return len(self._watches)
+
+    # ------------------------------------------------------------------ #
+    # Commit-time evaluation + long-polling
+    # ------------------------------------------------------------------ #
+    def on_commit(
+        self,
+        version: int,
+        touched_tokens: set[str],
+        evaluate: Callable[[tuple[str, ...], int], list[dict[str, Any]]],
+    ) -> int:
+        """Re-evaluate affected watches after a commit; returns how many
+        notifications were queued.  Runs under the live write lock — the
+        evaluation sees exactly the committed state."""
+        queued = 0
+        with self._cond:
+            watches = list(self._watches.values())
+        for watch in watches:
+            if touched_tokens and not (watch.tokens & touched_tokens):
+                continue
+            top = evaluate(watch.keywords, watch.k)
+            if top == watch.last_top:
+                continue
+            with self._cond:
+                if watch.cancelled:
+                    continue
+                watch.last_top = list(top)
+                watch.notifications.append(
+                    {"dataset_version": version, "top_k": top}
+                )
+                del watch.notifications[:-MAX_NOTIFICATIONS]
+                queued += 1
+                self._cond.notify_all()
+        return queued
+
+    def poll(
+        self, watch_id: str, after_version: int, timeout_seconds: float
+    ) -> tuple[Watch, list[dict[str, Any]]]:
+        """Block until the watch has a notification newer than
+        ``after_version`` (or the timeout lapses); returns the watch and
+        every retained notification newer than the cursor, oldest first."""
+        deadline = time.monotonic() + max(0.0, timeout_seconds)
+        with self._cond:
+            while True:
+                watch = self._watches.get(watch_id)
+                if watch is None:
+                    raise UnknownWatchError(watch_id)
+                fresh = [
+                    dict(entry)
+                    for entry in watch.notifications
+                    if entry["dataset_version"] > after_version
+                ]
+                if fresh:
+                    return watch, fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return watch, []
+                self._cond.wait(min(remaining, 0.5))

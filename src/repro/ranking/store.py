@@ -60,6 +60,22 @@ class ImportanceStore:
         arr = self.array(table)
         return float(arr.max()) if arr.size else 0.0
 
+    def extend(self, table: str, new_size: int) -> None:
+        """Grow a table's array to ``new_size`` rows, padding with the
+        table's current mean importance.
+
+        This is the live write path's policy for inserted tuples:
+        importance is frozen between compactions, and the mean keeps every
+        max(R_i)/mmax(R_i) G_DS annotation valid without re-running power
+        iteration on each commit."""
+        arr = self.array(table)
+        if new_size <= arr.size:
+            return
+        fill = float(arr.mean()) if arr.size else 1.0
+        self._arrays[table] = np.concatenate(
+            [arr, np.full(new_size - arr.size, fill)]
+        )
+
     def local_importance(self, node: GDSNode, row_id: int) -> float:
         """Equation 3: Im(OS, t_i) = Im(t_i) · Af(t_i)."""
         return self.importance(node.table, row_id) * node.affinity

@@ -14,6 +14,9 @@ site                where it fires
 ``transport.send``  :func:`repro.cluster.transport.send_frame`
 ``transport.recv``  :func:`repro.cluster.transport.recv_frame`
 ``worker.startup``  :func:`repro.cluster.worker.run_worker` entry
+``live.apply``      :meth:`repro.live.state.LiveState.apply`, inside the
+                    write lock but *before* any state changes — an
+                    injected fault is a clean whole-transaction abort
 ==================  ====================================================
 
 Each site calls :func:`inject` with its own exception factory, so an

@@ -23,7 +23,8 @@ status  errors
         options, unknown tables, ...)
 401     :class:`~repro.errors.AuthenticationError` — rejected bearer
         credential (auth middleware; the dispatcher never raises it)
-404     :class:`~repro.errors.UnknownDatasetError`, unknown endpoints
+404     :class:`~repro.errors.UnknownDatasetError`,
+        :class:`~repro.errors.UnknownWatchError`, unknown endpoints
 413     :class:`~repro.errors.PayloadTooLargeError` — request body over
         the transport cap; the body was never read
 429     :class:`~repro.errors.RateLimitedError` — per-client admission
@@ -64,21 +65,31 @@ from repro.errors import (
     ReproError,
     RequestValidationError,
     UnknownDatasetError,
+    UnknownWatchError,
 )
 from repro.reliability.deadline import deadline_scope
 from repro.service.middleware.context import current_context
 from repro.service.deployment import Deployment
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     BatchRequest,
     BatchResponse,
     Cursor,
+    MutateRequest,
     QueryRequest,
     QueryResponse,
     SizeLRequest,
     SizeLResponse,
+    WatchCancelRequest,
+    WatchPollRequest,
+    WatchRequest,
     decode_batch_request,
+    decode_mutate_request,
     decode_query_request,
     decode_size_l_request,
+    decode_watch_cancel_request,
+    decode_watch_poll_request,
+    decode_watch_request,
     encode_error,
     encode_response,
     request_deadline,
@@ -90,6 +101,10 @@ ENDPOINTS = (
     "/v1/query",
     "/v1/size-l",
     "/v1/batch",
+    "/v1/mutate",
+    "/v1/watch",
+    "/v1/watch/poll",
+    "/v1/watch/cancel",
     "/v1/datasets",
     "/v1/stats",
     "/v1/admin/invalidate",
@@ -111,7 +126,7 @@ def status_for(exc: BaseException, endpoint: str | None = None) -> int:
         return 429
     if isinstance(exc, PayloadTooLargeError):
         return 413
-    if isinstance(exc, UnknownDatasetError):
+    if isinstance(exc, (UnknownDatasetError, UnknownWatchError)):
         return 404
     if isinstance(exc, PersistError):
         # 409 is the reload contract ("replacement rejected, still
@@ -170,31 +185,38 @@ class ServiceDispatcher:
         before = self._computations_before(session)
         keywords = list(request.keywords)
         options = request.options
-        matches = session.engine.search_matches(keywords, options)
-        start = 0
-        if request.cursor is not None:
-            cursor = request.cursor
-            stable = cursor.rank < len(matches) and (
-                matches[cursor.rank].table == cursor.table
-                and matches[cursor.rank].row_id == cursor.row_id
-            )
-            if not stable:
-                raise RequestValidationError(
-                    f"stale cursor: rank {cursor.rank} is no longer "
-                    f"{cursor.table}#{cursor.row_id} in the current ranking; "
-                    "restart the query without a cursor"
+        # the session guard pins one dataset version for the whole answer:
+        # search, generation, AND rendering (render() reads db rows too) —
+        # a concurrent commit waits rather than tearing the response
+        with session.guard().read():
+            matches = session.engine.search_matches(keywords, options)
+            start = 0
+            if request.cursor is not None:
+                cursor = request.cursor
+                stable = cursor.rank < len(matches) and (
+                    matches[cursor.rank].table == cursor.table
+                    and matches[cursor.rank].row_id == cursor.row_id
                 )
-            start = cursor.rank + 1
-        page = matches[start:]
-        if request.page_size is not None:
-            page = page[: request.page_size]
-        results = session.size_l_many(
-            [(match.table, match.row_id) for match in page], options=options
-        )
-        entries = tuple(
-            result_entry(start + i, match.table, match.row_id, match.importance, result)
-            for i, (match, result) in enumerate(zip(page, results))
-        )
+                if not stable:
+                    raise RequestValidationError(
+                        f"stale cursor: rank {cursor.rank} is no longer "
+                        f"{cursor.table}#{cursor.row_id} in the current ranking; "
+                        "restart the query without a cursor"
+                    )
+                start = cursor.rank + 1
+            page = matches[start:]
+            if request.page_size is not None:
+                page = page[: request.page_size]
+            results = session.size_l_many(
+                [(match.table, match.row_id) for match in page], options=options
+            )
+            entries = tuple(
+                result_entry(
+                    start + i, match.table, match.row_id, match.importance, result
+                )
+                for i, (match, result) in enumerate(zip(page, results))
+            )
+            version = session.dataset_version
         next_cursor = None
         if page and start + len(page) < len(matches):
             last = page[-1]
@@ -209,37 +231,107 @@ class ServiceDispatcher:
             total_matches=len(matches),
             next_cursor=next_cursor,
             cache=self._cache_counters(session),
+            dataset_version=version,
         )
 
     def size_l(self, request: SizeLRequest) -> SizeLResponse:
         session = self.deployment.session(request.dataset)
         before = self._computations_before(session)
-        result = session.size_l(request.table, request.row_id, options=request.options)
-        importance = session.engine.store.importance(request.table, request.row_id)
+        with session.guard().read():
+            result = session.size_l(
+                request.table, request.row_id, options=request.options
+            )
+            importance = session.engine.store.importance(
+                request.table, request.row_id
+            )
+            entry = result_entry(0, request.table, request.row_id, importance, result)
+            version = session.dataset_version
         self._note_cache_hit(session, before)
         return SizeLResponse(
             dataset=request.dataset,
-            result=result_entry(0, request.table, request.row_id, importance, result),
+            result=entry,
             cache=self._cache_counters(session),
+            dataset_version=version,
         )
 
     def batch(self, request: BatchRequest) -> BatchResponse:
         session = self.deployment.session(request.dataset)
         before = self._computations_before(session)
-        results = session.size_l_many(list(request.subjects), options=request.options)
-        store = session.engine.store
-        entries = tuple(
-            result_entry(i, table, row_id, store.importance(table, row_id), result)
-            for i, ((table, row_id), result) in enumerate(
-                zip(request.subjects, results)
+        with session.guard().read():
+            results = session.size_l_many(
+                list(request.subjects), options=request.options
             )
-        )
+            store = session.engine.store
+            entries = tuple(
+                result_entry(i, table, row_id, store.importance(table, row_id), result)
+                for i, ((table, row_id), result) in enumerate(
+                    zip(request.subjects, results)
+                )
+            )
+            version = session.dataset_version
         self._note_cache_hit(session, before)
         return BatchResponse(
             dataset=request.dataset,
             results=entries,
             cache=self._cache_counters(session),
+            dataset_version=version,
         )
+
+    # ------------------------------------------------------------------ #
+    # Mutations and continual queries
+    # ------------------------------------------------------------------ #
+    def mutate(self, request: MutateRequest) -> dict[str, Any]:
+        """Apply one transaction; the response names every dirty subject."""
+        session = self.deployment.session(request.dataset)
+        commit = session.apply_mutations(request.operations)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": request.dataset,
+            "dataset_version": commit.version,
+            "applied": commit.commit.applied,
+            "dirty_subjects": commit.dirty_by_table(),
+            "watch_notifications": commit.notified,
+        }
+
+    def watch(self, request: WatchRequest) -> dict[str, Any]:
+        """Register a continual query; the body carries its baseline top-k."""
+        session = self.deployment.session(request.dataset)
+        live = session.live_state()
+        watch, version = live.register_watch(
+            list(request.keywords), request.k, watch_id=request.watch_id
+        )
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": request.dataset,
+            "watch_id": watch.watch_id,
+            "dataset_version": version,
+            "top_k": list(watch.last_top),
+        }
+
+    def watch_poll(self, request: WatchPollRequest) -> dict[str, Any]:
+        session = self.deployment.session(request.dataset)
+        live = session.live_state()
+        watch, notifications, version = live.poll_watch(
+            request.watch_id, request.after_version, request.timeout_ms / 1000.0
+        )
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": request.dataset,
+            "watch_id": watch.watch_id,
+            "dataset_version": version,
+            "notifications": notifications,
+        }
+
+    def watch_cancel(self, request: WatchCancelRequest) -> dict[str, Any]:
+        session = self.deployment.session(request.dataset)
+        live = session.live
+        cancelled = live.cancel_watch(request.watch_id) if live else False
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "dataset": request.dataset,
+            "watch_id": request.watch_id,
+            "cancelled": cancelled,
+        }
 
     def datasets(self) -> dict[str, Any]:
         return {"datasets": self.deployment.describe()}
@@ -276,6 +368,25 @@ class ServiceDispatcher:
             for name in self.deployment.names()
             if self.deployment.describe(name)["built"]
         }
+
+    def live_stats_by_dataset(self) -> dict[str, dict[str, int]]:
+        """Per-dataset live-mutation gauges for the metrics endpoint.
+
+        Non-building, like :meth:`cache_stats_by_dataset`.  A dataset that
+        never activated live state reports version 0 / zero watches — the
+        gauges exist from boot, they don't appear on first write.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for name in self.deployment.names():
+            if not self.deployment.describe(name)["built"]:
+                continue
+            session = self.deployment.session(name)
+            live = session.live
+            stats[name] = {
+                "dataset_version": session.dataset_version,
+                "watch_active": live.watches.active_count if live else 0,
+            }
+        return stats
 
     def invalidate(
         self,
@@ -340,6 +451,14 @@ class ServiceDispatcher:
                 payload, defaults=self._session_defaults(payload)
             )
             return encode_response(self.batch(request))
+        if endpoint == "/v1/mutate":
+            return self.mutate(decode_mutate_request(payload))
+        if endpoint == "/v1/watch":
+            return self.watch(decode_watch_request(payload))
+        if endpoint == "/v1/watch/poll":
+            return self.watch_poll(decode_watch_poll_request(payload))
+        if endpoint == "/v1/watch/cancel":
+            return self.watch_cancel(decode_watch_cancel_request(payload))
         if endpoint == "/v1/datasets":
             return self.datasets()
         if endpoint == "/v1/stats":

@@ -11,6 +11,10 @@ path                       method  body
                                    cursor, page_size)
 ``/v1/size-l``             POST    size-l request (table, row_id, options)
 ``/v1/batch``              POST    batch request (subjects, options)
+``/v1/mutate``             POST    transactional writes (operations)
+``/v1/watch``              POST    register a continual query (keywords, k)
+``/v1/watch/poll``         POST    long-poll a watch (after_version)
+``/v1/watch/cancel``       POST    cancel a watch
 ``/v1/datasets``           GET     —
 ``/v1/stats``              GET     optional ``?dataset=name``
 ``/v1/metrics``            GET     Prometheus text exposition
@@ -93,6 +97,10 @@ _POST_ENDPOINTS = (
     "/v1/query",
     "/v1/size-l",
     "/v1/batch",
+    "/v1/mutate",
+    "/v1/watch",
+    "/v1/watch/poll",
+    "/v1/watch/cancel",
     "/v1/admin/invalidate",
     "/v1/admin/reload",
 )

@@ -93,13 +93,19 @@ class MetricsRegistry:
             }
 
     def render(
-        self, cache_stats: "Mapping[str, CacheStats] | None" = None
+        self,
+        cache_stats: "Mapping[str, CacheStats] | None" = None,
+        live_stats: "Mapping[str, Mapping[str, int]] | None" = None,
     ) -> str:
         """The Prometheus text exposition of everything this registry saw.
 
         *cache_stats* maps dataset name → merged typed
         :class:`CacheStats`; each counter becomes a
-        ``repro_cache_<counter>{dataset=...}`` sample.
+        ``repro_cache_<counter>{dataset=...}`` sample.  *live_stats* maps
+        dataset name → live-mutation gauges, rendered as
+        ``repro_dataset_version{dataset=...}`` (committed-transaction
+        count; max over shards) and ``repro_watch_active{dataset=...}``
+        (registered continual queries).
         """
         with self._lock:
             requests = dict(self._requests)
@@ -161,4 +167,27 @@ class MetricsRegistry:
                         f'repro_cache_{counter}{{dataset="{_escape_label(dataset)}"}} '
                         f"{value}"
                     )
+        if live_stats:
+            lines.append(
+                "# HELP repro_dataset_version Committed-transaction count "
+                "per dataset (0 = as built; max over shards)."
+            )
+            lines.append("# TYPE repro_dataset_version gauge")
+            for dataset in sorted(live_stats):
+                version = live_stats[dataset].get("dataset_version", 0)
+                lines.append(
+                    f'repro_dataset_version{{dataset="{_escape_label(dataset)}"}} '
+                    f"{version}"
+                )
+            lines.append(
+                "# HELP repro_watch_active Registered continual queries "
+                "per dataset."
+            )
+            lines.append("# TYPE repro_watch_active gauge")
+            for dataset in sorted(live_stats):
+                active = live_stats[dataset].get("watch_active", 0)
+                lines.append(
+                    f'repro_watch_active{{dataset="{_escape_label(dataset)}"}} '
+                    f"{active}"
+                )
         return "\n".join(lines) + "\n"

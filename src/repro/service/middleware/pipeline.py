@@ -173,7 +173,14 @@ class MiddlewarePipeline:
                 cache_stats = hook()
             except Exception:  # noqa: BLE001 - scrapes must not fail
                 cache_stats = None
-        return self.metrics.render(cache_stats=cache_stats)
+        live_stats = None
+        live_hook = getattr(self.dispatcher, "live_stats_by_dataset", None)
+        if callable(live_hook):
+            try:
+                live_stats = live_hook()
+            except Exception:  # noqa: BLE001 - scrapes must not fail
+                live_stats = None
+        return self.metrics.render(cache_stats=cache_stats, live_stats=live_stats)
 
     def healthz(self) -> "dict[str, Any] | None":
         """Delegate liveness to the dispatcher's hook, if it has one."""

@@ -42,6 +42,10 @@ PROTOCOL_VERSION = 1
 #: unbounded batch.
 MAX_WIRE_WORKERS = 64
 MAX_BATCH_SUBJECTS = 10_000
+MAX_MUTATE_OPERATIONS = 1_000
+#: Longest server-side long-poll hold on ``/v1/watch/poll``; clients that
+#: want to wait longer re-poll with the same cursor.
+MAX_WATCH_TIMEOUT_MS = 30_000
 
 
 # --------------------------------------------------------------------- #
@@ -388,6 +392,162 @@ def decode_batch_request(
     )
 
 
+# --------------------------------------------------------------------- #
+# Mutations and continual queries
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MutateRequest:
+    """One transaction: insert/update/delete operations applied atomically.
+
+    Operations are typed :mod:`repro.db.mutation` objects after decode;
+    the whole list commits or none of it does.
+    """
+
+    dataset: str
+    operations: tuple[Any, ...]
+    deadline_ms: int | None = None
+
+
+@dataclass(frozen=True)
+class WatchRequest:
+    """Register a continual keyword query (top-``k`` change notifications)."""
+
+    dataset: str
+    keywords: tuple[str, ...]
+    k: int
+    watch_id: str | None = None
+    deadline_ms: int | None = None
+
+
+@dataclass(frozen=True)
+class WatchPollRequest:
+    """Long-poll a watch for notifications newer than ``after_version``."""
+
+    dataset: str
+    watch_id: str
+    after_version: int = 0
+    timeout_ms: int = 0
+    deadline_ms: int | None = None
+
+
+@dataclass(frozen=True)
+class WatchCancelRequest:
+    dataset: str
+    watch_id: str
+
+
+_MUTATE_FIELDS = ("protocol_version", "dataset", "operations", "deadline_ms")
+_WATCH_FIELDS = (
+    "protocol_version", "dataset", "keywords", "k", "watch_id", "deadline_ms",
+)
+_WATCH_POLL_FIELDS = (
+    "protocol_version",
+    "dataset",
+    "watch_id",
+    "after_version",
+    "timeout_ms",
+    "deadline_ms",
+)
+_WATCH_CANCEL_FIELDS = ("protocol_version", "dataset", "watch_id")
+
+
+def decode_mutate_request(payload: object) -> MutateRequest:
+    from repro.db.mutation import decode_operation
+
+    payload = _require_mapping(payload, "mutate request")
+    _check_version(payload, "mutate request")
+    _reject_unknown(payload, _MUTATE_FIELDS, "mutate request")
+    raw_ops = _require(payload, "operations", "mutate request")
+    if not isinstance(raw_ops, (list, tuple)) or not raw_ops:
+        raise RequestValidationError(
+            "field 'operations' must be a non-empty list of operation objects"
+        )
+    if len(raw_ops) > MAX_MUTATE_OPERATIONS:
+        raise RequestValidationError(
+            f"{len(raw_ops)} operations exceed the transaction limit of "
+            f"{MAX_MUTATE_OPERATIONS}; split the transaction"
+        )
+    operations = tuple(
+        decode_operation(entry, index=i) for i, entry in enumerate(raw_ops)
+    )
+    return MutateRequest(
+        dataset=_decode_dataset(payload, "mutate request"),
+        operations=operations,
+        deadline_ms=_decode_deadline_ms(payload),
+    )
+
+
+def _decode_watch_id(payload: dict[str, Any], what: str, *, required: bool) -> str | None:
+    watch_id = payload.get("watch_id")
+    if watch_id is None:
+        if required:
+            raise RequestValidationError(f"missing required field 'watch_id' in {what}")
+        return None
+    if not isinstance(watch_id, str) or not watch_id:
+        raise RequestValidationError(
+            f"field 'watch_id' must be a non-empty string, got {watch_id!r}"
+        )
+    return watch_id
+
+
+def decode_watch_request(payload: object) -> WatchRequest:
+    payload = _require_mapping(payload, "watch request")
+    _check_version(payload, "watch request")
+    _reject_unknown(payload, _WATCH_FIELDS, "watch request")
+    keywords = _require(payload, "keywords", "watch request")
+    if isinstance(keywords, str):
+        keywords = (keywords,)
+    elif isinstance(keywords, (list, tuple)) and all(
+        isinstance(k, str) for k in keywords
+    ):
+        keywords = tuple(keywords)
+    else:
+        raise RequestValidationError(
+            f"field 'keywords' must be a string or a list of strings, got {keywords!r}"
+        )
+    if not keywords:
+        raise RequestValidationError("field 'keywords' must not be empty")
+    return WatchRequest(
+        dataset=_decode_dataset(payload, "watch request"),
+        keywords=keywords,
+        k=_int_field(_require(payload, "k", "watch request"), "k", minimum=1),
+        watch_id=_decode_watch_id(payload, "watch request", required=False),
+        deadline_ms=_decode_deadline_ms(payload),
+    )
+
+
+def decode_watch_poll_request(payload: object) -> WatchPollRequest:
+    payload = _require_mapping(payload, "watch poll request")
+    _check_version(payload, "watch poll request")
+    _reject_unknown(payload, _WATCH_POLL_FIELDS, "watch poll request")
+    timeout_ms = payload.get("timeout_ms", 0)
+    timeout_ms = _int_field(timeout_ms, "timeout_ms", minimum=0)
+    if timeout_ms > MAX_WATCH_TIMEOUT_MS:
+        raise RequestValidationError(
+            f"field 'timeout_ms' must be <= {MAX_WATCH_TIMEOUT_MS}, "
+            f"got {timeout_ms}; re-poll to wait longer"
+        )
+    return WatchPollRequest(
+        dataset=_decode_dataset(payload, "watch poll request"),
+        watch_id=_decode_watch_id(payload, "watch poll request", required=True),
+        after_version=_int_field(
+            payload.get("after_version", 0), "after_version", minimum=0
+        ),
+        timeout_ms=timeout_ms,
+        deadline_ms=_decode_deadline_ms(payload),
+    )
+
+
+def decode_watch_cancel_request(payload: object) -> WatchCancelRequest:
+    payload = _require_mapping(payload, "watch cancel request")
+    _check_version(payload, "watch cancel request")
+    _reject_unknown(payload, _WATCH_CANCEL_FIELDS, "watch cancel request")
+    return WatchCancelRequest(
+        dataset=_decode_dataset(payload, "watch cancel request"),
+        watch_id=_decode_watch_id(payload, "watch cancel request", required=True),
+    )
+
+
 _REQUEST_DECODERS = {
     "query": decode_query_request,
     "size_l": decode_size_l_request,
@@ -525,6 +685,10 @@ class QueryResponse:
     total_matches: int
     next_cursor: Cursor | None
     cache: dict[str, int] = field(default_factory=dict)
+    #: The dataset's committed-transaction count when this answer was
+    #: computed (0 = as built).  On a sharded topology: the max over the
+    #: answering shards.
+    dataset_version: int = 0
     #: Degraded-mode marker (cluster only): ``True`` means some shards
     #: were unavailable and their entries are missing from ``results``.
     degraded: bool = False
@@ -536,6 +700,7 @@ class SizeLResponse:
     dataset: str
     result: ResultEntry
     cache: dict[str, int] = field(default_factory=dict)
+    dataset_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -543,6 +708,7 @@ class BatchResponse:
     dataset: str
     results: tuple[ResultEntry, ...]
     cache: dict[str, int] = field(default_factory=dict)
+    dataset_version: int = 0
 
 
 def encode_response(
@@ -553,6 +719,7 @@ def encode_response(
         "protocol_version": PROTOCOL_VERSION,
         "dataset": response.dataset,
         "cache": dict(response.cache),
+        "dataset_version": response.dataset_version,
     }
     if isinstance(response, QueryResponse):
         body["keywords"] = list(response.keywords)
@@ -622,6 +789,7 @@ def decode_query_response(payload: object) -> QueryResponse:
             "total_matches",
             "next_cursor",
             "cache",
+            "dataset_version",
             "degraded",
             "missing_shards",
         ),
@@ -638,6 +806,7 @@ def decode_query_response(payload: object) -> QueryResponse:
         total_matches=_require(payload, "total_matches", "query response"),
         next_cursor=None if cursor is None else Cursor.decode(cursor),
         cache=dict(payload.get("cache", {})),
+        dataset_version=int(payload.get("dataset_version", 0)),
         degraded=bool(payload.get("degraded", False)),
         missing_shards=tuple(payload.get("missing_shards", ())),
     )

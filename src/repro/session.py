@@ -87,6 +87,10 @@ class Session:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
         self._pool_lock = threading.Lock()
+        # Live mutation state: created on first write / watch (lazily, so
+        # frozen read-only Sessions keep their zero-overhead null guard).
+        self._live: "Any | None" = None
+        self._live_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -444,6 +448,49 @@ class Session:
         return list(self._iter_keyword_query_parallel(keywords, opts, config))
 
     # ------------------------------------------------------------------ #
+    # Live mutation state
+    # ------------------------------------------------------------------ #
+    @property
+    def live(self) -> "Any | None":
+        """The session's :class:`~repro.live.LiveState`, if activated."""
+        return self._live
+
+    def live_state(self) -> "Any":
+        """The session's live mutation state, activating it on first use.
+
+        Activation swaps the engine's derived structures for their
+        delta-overlaid counterparts and installs the read/write guard;
+        until then reads pay nothing for mutability they never use."""
+        if self._live is None:
+            with self._live_lock:
+                if self._live is None:
+                    from repro.live.state import LiveState
+
+                    self._live = LiveState(self)
+        return self._live
+
+    def guard(self) -> "Any":
+        """The read/write guard consistent reads must run under.
+
+        The live state's :class:`~repro.live.ReadWriteLock` once writes
+        are possible; before that, the engine's counting
+        :class:`~repro.live.FrozenReadGuard`, whose readers the first
+        mutation drains before committing."""
+        if self._live is not None:
+            return self._live.lock
+        return self.engine.live_guard
+
+    @property
+    def dataset_version(self) -> int:
+        """Monotonic count of committed transactions (0 = as built)."""
+        return self.engine.db.data_version
+
+    def apply_mutations(self, operations: "Iterable[Any]") -> "Any":
+        """Commit a transaction and incrementally maintain every derived
+        structure; returns the :class:`~repro.live.LiveCommit`."""
+        return self.live_state().apply(list(operations))
+
+    # ------------------------------------------------------------------ #
     # Pass-throughs and management
     # ------------------------------------------------------------------ #
     def complete_os(self, rds_table: str, row_id: int) -> ObjectSummary:
@@ -474,6 +521,10 @@ class Session:
         """The engine snapshot plus cache statistics (JSON-shaped)."""
         info = self.engine.describe()
         info["cache"] = self.cache.stats().as_dict()
+        info["dataset_version"] = self.dataset_version
+        info["watch_active"] = (
+            self._live.watches.active_count if self._live is not None else 0
+        )
         info["defaults"] = {
             "l": self.defaults.l,
             "algorithm": self.defaults.algorithm_name,
