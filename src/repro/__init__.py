@@ -76,8 +76,15 @@ from repro.ranking import (
     compute_valuerank,
 )
 from repro.schema_graph import GDS, ManualAffinityModel, SchemaGraph, build_gds
+from repro.storage import (
+    BufferPool,
+    export_database,
+    import_database,
+    load_dblp_xml,
+    open_dataset,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ObjectSummary",
@@ -126,5 +133,10 @@ __all__ = [
     "ManualAffinityModel",
     "SchemaGraph",
     "build_gds",
+    "BufferPool",
+    "export_database",
+    "import_database",
+    "load_dblp_xml",
+    "open_dataset",
     "__version__",
 ]

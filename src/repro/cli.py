@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro serve --database dblp --snapshot snap.d --port 8077
     python -m repro gds --database dblp --subject author
     python -m repro analyze --database dblp --subject author --max-l 25
+    python -m repro load-dblp --xml dblp.xml --out dblp.sqlite --limit 5000
+    python -m repro query --db dblp.sqlite --keywords Faloutsos --l 15
 
 ``query`` runs the paper's end-to-end pipeline (Examples 3-5), streaming
 each result as its size-l OS is computed; ``precompute`` generates
@@ -23,7 +25,11 @@ optimal-family analysis (nesting/stability across l).
 
 Every subcommand resolves its dataset through one shared loader
 (:func:`_load_session`) — the dataset flags are declared once on a parent
-parser and built once per invocation.  Exit codes are pinned:
+parser and built once per invocation.  ``--db PATH.sqlite`` swaps the
+synthetic dataset for a real one previously imported (``load-dblp`` or
+:func:`repro.storage.export_database`); ``--pool-bytes`` serves the data
+graph through a bounded buffer pool instead of fully resident.  Exit
+codes are pinned:
 
 * ``0`` — success;
 * ``1`` — the command ran but found nothing (no matching data subjects);
@@ -81,10 +87,30 @@ def _load_session(args: argparse.Namespace, *, cache_size: int = 64) -> Session:
         snapshot = Snapshot.open(
             args.snapshot, verify=not getattr(args, "no_verify", False)
         )
-    builder = EngineBuilder.named(args.database, seed=args.seed, scale=args.scale)
+    if getattr(args, "db", None) is not None:
+        # A real imported dataset: --db replaces synthesis entirely, so
+        # --seed/--scale are inert here.  A missing or corrupt file raises
+        # StorageError, which main() maps to the pinned exit code 2.
+        from repro.storage import open_dataset
+
+        builder = EngineBuilder.from_dataset(open_dataset(args.db))
+    else:
+        builder = EngineBuilder.named(
+            args.database, seed=args.seed, scale=args.scale
+        )
     if snapshot is not None:
         builder.with_snapshot(snapshot)
+    if getattr(args, "pool_bytes", None) is not None:
+        builder.with_buffer_pool(args.pool_bytes)
     return builder.build_session(cache_size=cache_size)
+
+
+def _dataset_label(args: argparse.Namespace) -> str:
+    """What to call the served dataset: the --db file's stem, else the
+    named database."""
+    if getattr(args, "db", None) is not None:
+        return Path(args.db).stem
+    return args.database
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -256,14 +282,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     hashing, and SIGTERM drains everything in order.
     """
     if args.shards > 1:
+        if args.db is not None:
+            # DatasetSpec describes a dataset workers can synthesise
+            # independently; a SQLite file has no such recipe yet.
+            raise ReproError(
+                "--db cannot be combined with --shards > 1; serve an "
+                "imported dataset from a single process"
+            )
         return _serve_cluster(args)
     from repro.service import Deployment, create_server
 
+    name = _dataset_label(args)
     session = _load_session(args, cache_size=args.cache_size)
     session.parallel = ParallelConfig(
         workers=args.workers, ordered=not args.unordered
     ).normalized()
-    deployment = Deployment().add_session(args.database, session)
+    deployment = Deployment().add_session(name, session)
     try:
         server = create_server(
             deployment,
@@ -283,7 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return EXIT_ERROR
     try:
-        return _serve_loop(server, args, f"serving {args.database} on {server.url}")
+        return _serve_loop(server, args, f"serving {name} on {server.url}")
     finally:
         server.server_close()
         deployment.close()
@@ -313,6 +347,24 @@ def _cmd_precompute(args: argparse.Namespace) -> int:
         f"  size: {report.size_bytes / 1024:.1f} KiB\n"
         f"  precompute time: {report.seconds:.2f}s "
         f"(workers={args.workers})"
+    )
+    return EXIT_OK
+
+
+def _cmd_load_dblp(args: argparse.Namespace) -> int:
+    from repro.storage import load_dblp_xml
+
+    report = load_dblp_xml(
+        args.xml, args.out, limit=args.limit, overwrite=args.overwrite
+    )
+    print(
+        f"loaded {report.path}\n"
+        f"  papers: {report.papers}  authors: {report.authors}  "
+        f"conferences: {report.conferences}\n"
+        f"  writes: {report.writes}  cites: {report.cites}  "
+        f"(skipped records: {report.skipped}, "
+        f"unresolved citations: {report.unresolved_citations})\n"
+        f"  total tuples: {report.total_tuples}"
     )
     return EXIT_OK
 
@@ -364,6 +416,23 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_parent = argparse.ArgumentParser(add_help=False)
     dataset_parent.add_argument(
         "--database", choices=NAMED_DATASETS, default="dblp"
+    )
+    dataset_parent.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH.sqlite",
+        help="serve a real imported dataset from this SQLite file "
+        "(see load-dblp) instead of synthesising --database; a missing "
+        "or corrupt file exits 2",
+    )
+    dataset_parent.add_argument(
+        "--pool-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="serve the data graph through a buffer pool of this capacity "
+        "instead of fully resident (page hit/miss/eviction counters "
+        "appear in /v1/metrics)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -562,6 +631,37 @@ def build_parser() -> argparse.ArgumentParser:
         "with their shard (default: off)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    load_dblp = sub.add_parser(
+        "load-dblp",
+        help="stream a DBLP XML dump into a SQLite dataset file",
+    )
+    load_dblp.add_argument(
+        "--xml",
+        required=True,
+        metavar="PATH",
+        help="DBLP XML dump (the public dblp.xml or any subset of it)",
+    )
+    load_dblp.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH.sqlite",
+        help="SQLite dataset file to write (usable via --db afterwards)",
+    )
+    load_dblp.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N accepted papers (CI-sized samples of the real "
+        "dump; default: load everything)",
+    )
+    load_dblp.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing file at --out",
+    )
+    load_dblp.set_defaults(func=_cmd_load_dblp)
 
     gds = sub.add_parser(
         "gds", parents=[dataset_parent], help="print an annotated G_DS"

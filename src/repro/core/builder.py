@@ -83,6 +83,9 @@ class EngineBuilder:
         self._defaults: QueryOptions | None = None
         self._parallel: ParallelConfig | None = None
         self._cache_size: int = 64
+        #: buffer-pool sizing (see with_buffer_pool); None = fully resident
+        self._pool_bytes: int | None = None
+        self._pool_page_bytes: int | None = None
 
     # ------------------------------------------------------------------ #
     # Fluent configuration
@@ -143,6 +146,24 @@ class EngineBuilder:
         if cache_size < 1:
             raise SummaryError(f"cache_size must be >= 1, got {cache_size}")
         self._cache_size = cache_size
+        return self
+
+    def with_buffer_pool(
+        self, capacity_bytes: int, *, page_bytes: int | None = None
+    ) -> "EngineBuilder":
+        """Serve the data graph through a bounded page pool
+        (:mod:`repro.storage.bufferpool`) instead of fully resident.
+
+        Most useful with :meth:`with_snapshot`, where the CSR arenas are
+        mmap'd files and the pool bounds how much of them RAM ever
+        holds; the engine's ``buffer_pool`` exposes hit/miss/eviction
+        counters through ``CacheStats`` and ``/v1/metrics``."""
+        if capacity_bytes < 1:
+            raise SummaryError(
+                f"buffer pool capacity must be >= 1 byte, got {capacity_bytes}"
+            )
+        self._pool_bytes = int(capacity_bytes)
+        self._pool_page_bytes = page_bytes
         return self
 
     # ------------------------------------------------------------------ #
@@ -236,6 +257,22 @@ class EngineBuilder:
             data_graph=data_graph,
             search_index=search_index,
         )
+        if self._pool_bytes is not None:
+            from repro.storage.bufferpool import (
+                DEFAULT_PAGE_BYTES,
+                BufferPool,
+                paged_data_graph,
+            )
+
+            pool = BufferPool(
+                self._pool_bytes,
+                page_bytes=self._pool_page_bytes or DEFAULT_PAGE_BYTES,
+            )
+            # engine.data_graph forces the lazy CSR build when neither a
+            # snapshot nor with_data_graph supplied one, so the pool works
+            # (and is testable) on in-memory graphs too.
+            engine._data_graph = paged_data_graph(engine.data_graph, pool)
+            engine.buffer_pool = pool
         if self._snapshot is not None:
             # Full validation again post-construction (store digest for
             # engines carrying their own store; dataset re-check is ~0.2ms

@@ -96,6 +96,11 @@ class CacheStats:
     disk_hits: int = 0
     disk_misses: int = 0
     snapshot_stale: int = 0
+    #: buffer-pool page counters (repro.storage) — zero when the engine
+    #: serves fully resident; merged across shards like every counter
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -693,6 +698,10 @@ class SummaryCache:
         (Returned a plain dict before the service layer; the typed record
         keeps the old mapping interface behind a DeprecationWarning.)
         """
+        # The engine's buffer pool (repro.storage) keeps its own counters;
+        # surfacing them here puts them on /v1/stats and /v1/metrics for
+        # free (both render whatever as_dict() exposes).
+        pool = getattr(self.engine, "buffer_pool", None)
         with self._acquire():  # RLock: the properties re-enter safely
             return CacheStats(
                 hits=self.hits,
@@ -707,4 +716,7 @@ class SummaryCache:
                 disk_hits=self.disk_hits,
                 disk_misses=self.disk_misses,
                 snapshot_stale=self.snapshot_stale,
+                pool_hits=pool.hits if pool is not None else 0,
+                pool_misses=pool.misses if pool is not None else 0,
+                pool_evictions=pool.evictions if pool is not None else 0,
             )

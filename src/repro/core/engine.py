@@ -110,6 +110,10 @@ class SizeLEngine:
             annotate_gds(gds, store)
         self._data_graph = data_graph
         self._data_graph_lock = threading.Lock()
+        # Set by EngineBuilder.with_buffer_pool when the data graph is
+        # paged over mmap arenas (repro.storage); stats() surfaces its
+        # hit/miss/eviction counters.
+        self.buffer_pool = None
         # Swapped for the live state's ReadWriteLock once the dataset
         # accepts writes; frozen datasets keep the zero-cost null guard.
         self.live_guard = FrozenReadGuard()

@@ -325,6 +325,12 @@ def generate_os_flat(
     # major key, the G_DS edge's rank among its parent's children the minor
     # key, so a stable sort reproduces the legacy BFS append order exactly.
     edge_stride = max((len(n.children) for n in gds_nodes), default=1) or 1
+    # Disk-resident graphs (repro.storage's buffer pool) prefer each
+    # frontier group expanded in ascending row order: CSR gathers then
+    # sweep the arena pages sequentially instead of randomly.  The output
+    # tree is unchanged — the keys above encode *original* frontier
+    # positions and the level ends in a stable argsort.
+    page_order = bool(getattr(graph, "prefers_page_order", False))
 
     root_weight = store.local_importance(gds.root, tds_row_id)
     parent_chunks = [np.array([-1], dtype=np.int32)]
@@ -357,6 +363,8 @@ def generate_os_flat(
             if not g.children or g.node_id not in present:
                 continue
             sel = np.nonzero(frontier_gids == g.node_id)[0]
+            if page_order and sel.size > 1:
+                sel = sel[np.argsort(frontier_rows[sel], kind="stable")]
             parent_rows = frontier_rows[sel]
             for edge_rank, gds_child in enumerate(g.children):
                 join = gds_child.join

@@ -114,6 +114,13 @@ class BackendIOError(ReproError):
     503 — clients may safely retry."""
 
 
+class StorageError(ReproError):
+    """Raised for invalid storage-tier operations (see :mod:`repro.storage`):
+    missing or corrupt SQLite files, unsupported format versions, malformed
+    DBLP XML records.  The CLI maps this — like every :class:`ReproError` —
+    to the pinned usage-error exit code 2."""
+
+
 class ServiceError(ReproError):
     """Raised for invalid service-layer operations (see :mod:`repro.service`)."""
 

@@ -101,6 +101,14 @@ class LiveAdjacency(FkAdjacency):
     def dirty(self) -> bool:
         return bool(self._added or self._removed)
 
+    @property
+    def overlay_size(self) -> int:
+        """Total overlay entries (added + removed) on this edge — the
+        read-time merge cost the automatic compaction policy bounds."""
+        return sum(len(v) for v in self._added.values()) + sum(
+            len(v) for v in self._removed.values()
+        )
+
     # ------------------------------------------------------------------ #
     # Reads (merge overlays; ascending order preserved)
     # ------------------------------------------------------------------ #
@@ -210,6 +218,13 @@ class LiveDataGraph(DataGraph):
                         else self.db.table(fk.ref_table).row_id_for_pk(value)
                     )
                 adj.set_forward(row_id, target_row)
+
+    @property
+    def overlay_size(self) -> int:
+        """Total overlay entries across every adjacency."""
+        return sum(
+            getattr(adj, "overlay_size", 0) for adj in self._adj.values()
+        )
 
     def compacted(self) -> DataGraph:
         """A fresh frozen-CSR generation reflecting every applied delta."""

@@ -51,6 +51,13 @@ class LiveInvertedIndex(BaseInvertedIndex):
     def dirty(self) -> bool:
         return bool(self._added or self._removed)
 
+    @property
+    def overlay_size(self) -> int:
+        """Total overlay postings (added + removed) across all tokens."""
+        return sum(len(v) for v in self._added.values()) + sum(
+            len(v) for v in self._removed.values()
+        )
+
     def lookup(self, token: str) -> set[Posting]:
         token = token.lower()
         postings = self.base.lookup(token)

@@ -86,7 +86,12 @@ class LiveCommit:
 class LiveState:
     """Mutation-aware serving state for one session (see module docstring)."""
 
-    def __init__(self, session: "Session") -> None:
+    def __init__(
+        self,
+        session: "Session",
+        *,
+        auto_compact_threshold: "int | None" = None,
+    ) -> None:
         self.session = session
         self.engine = session.engine
         self.db = self.engine.db
@@ -107,6 +112,11 @@ class LiveState:
         self.watches = WatchRegistry()
         self.mutations_applied = 0
         self.compactions = 0
+        self.auto_compactions = 0
+        #: automatic compaction policy: fold the deltas whenever the total
+        #: overlay size (graph edges + index postings) crosses this after a
+        #: commit; None disables the policy (PR 9's manual-only behavior)
+        self.auto_compact_threshold = auto_compact_threshold
 
     # ------------------------------------------------------------------ #
     # The write path
@@ -140,6 +150,13 @@ class LiveState:
             notified = self.watches.on_commit(
                 commit.version, touched_tokens, self._evaluate_top
             )
+            threshold = self.auto_compact_threshold
+            if threshold is not None and self.overlay_size >= threshold:
+                # The write lock is re-entrant, and queries see identical
+                # answers on either side of the fold — the commit we just
+                # applied is already in the overlays being compacted.
+                self.compact()
+                self.auto_compactions += 1
             return LiveCommit(commit, dirty, touched_tokens, notified)
 
     def _extend_importance(self, commit: CommitResult) -> None:
@@ -263,12 +280,19 @@ class LiveState:
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
+    @property
+    def overlay_size(self) -> int:
+        """Total delta-overlay entries: graph edges + index postings."""
+        return self.graph.overlay_size + self.index.overlay_size
+
     def stats(self) -> dict[str, Any]:
         return {
             "dataset_version": self.db.data_version,
             "watch_active": self.watches.active_count,
             "mutations_applied": self.mutations_applied,
             "compactions": self.compactions,
+            "auto_compactions": self.auto_compactions,
+            "overlay_size": self.overlay_size,
             "graph_dirty_edges": sum(
                 1 for adj in self.graph.adjacencies() if getattr(adj, "dirty", False)
             ),

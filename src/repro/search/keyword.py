@@ -1,4 +1,18 @@
-"""Keyword → Data Subject resolution."""
+"""Keyword → Data Subject resolution.
+
+Besides plain value matching through the inverted index, the searcher
+understands *schema-reference* keywords (arXiv:2203.05921): a keyword
+whose every token names a table or attribute of the schema ("author",
+"papers", "name") is treated as a reference to that schema element
+rather than a value to match.  Schema references are stripped from the
+conjunctive AND — they would otherwise only match tuples that happen to
+contain the word "author" — and instead boost the referenced R_DS
+relation's matches to the front of the ranking, so "author faloutsos
+papers" surfaces author subjects first.  A query made up *entirely* of
+schema references lists the referenced relation's top subjects by
+importance.  Queries with no schema-name tokens are untouched: they
+resolve exactly as plain keyword queries.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +22,7 @@ from repro.db.database import Database
 from repro.errors import SearchError
 from repro.ranking.store import ImportanceStore
 from repro.search.inverted_index import BaseInvertedIndex, InvertedIndex
+from repro.search.tokenizer import tokenize
 
 
 @dataclass(frozen=True)
@@ -43,22 +58,99 @@ class KeywordSearcher:
         # A prebuilt index (e.g. the memory-mapped ArrayInvertedIndex of an
         # attached snapshot) skips the tokenizing build scan entirely.
         self.index = index if index is not None else InvertedIndex(db, rds_tables)
+        # schema-name token → R_DS tables it references (empty set for
+        # schema elements outside any R_DS relation: still recognised as a
+        # reference, just nothing to boost).  Names are whole tokens only —
+        # "author_id" can never equal an alphanumeric query token, so
+        # compound column names don't leak surprise references.
+        self._schema_names: dict[str, frozenset[str]] = {}
+        rds = set(self.rds_tables)
+        for table in db.tables():
+            schema = table.schema
+            owner = frozenset({schema.name} & rds)
+            names = [schema.name] + [c.name for c in schema.columns]
+            for name in names:
+                name = name.lower()
+                prev = self._schema_names.get(name, frozenset())
+                self._schema_names[name] = prev | owner
+
+    def schema_reference(self, keyword: str) -> "frozenset[str] | None":
+        """The R_DS tables *keyword* references, or ``None`` when it is a
+        plain value keyword.
+
+        A keyword is a schema reference iff **all** its tokens resolve to
+        table or attribute names; resolution tolerates a plural "s"
+        ("papers" references the ``paper`` table).
+        """
+        tokens = tokenize(keyword)
+        if not tokens:
+            return None
+        referenced: set[str] = set()
+        for token in tokens:
+            hit = self._schema_names.get(token)
+            if hit is None and token.endswith("s"):
+                hit = self._schema_names.get(token[:-1])
+            if hit is None:
+                return None
+            referenced |= hit
+        return frozenset(referenced)
 
     def search(self, keywords: list[str] | str) -> list[DataSubjectMatch]:
-        """Resolve keywords to ranked t_DS matches (conjunctive semantics)."""
+        """Resolve keywords to ranked t_DS matches (conjunctive semantics).
+
+        Schema-reference keywords are split off first: the remaining value
+        keywords resolve through the inverted index, and referenced R_DS
+        tables rank ahead of the rest (importance order within each band).
+        """
         if isinstance(keywords, str):
             keywords = [keywords]
         cleaned = [k for k in keywords if k.strip()]
         if not cleaned:
             raise SearchError("empty keyword query")
-        postings = self.index.conjunctive(cleaned)
-        matches = [
-            DataSubjectMatch(
-                table=p.table,
-                row_id=p.row_id,
-                importance=self.store.importance(p.table, p.row_id),
+        boosted: set[str] = set()
+        values: list[str] = []
+        for keyword in cleaned:
+            referenced = self.schema_reference(keyword)
+            if referenced is None:
+                values.append(keyword)
+            else:
+                boosted |= referenced
+        if not values and not boosted:
+            # schema references only, none naming an R_DS relation
+            # ("writes cites"): nothing to list, fall back to plain
+            # value semantics rather than silently returning nothing
+            values = cleaned
+        if values:
+            postings = self.index.conjunctive(values)
+            matches = [
+                DataSubjectMatch(
+                    table=p.table,
+                    row_id=p.row_id,
+                    importance=self.store.importance(p.table, p.row_id),
+                )
+                for p in postings
+            ]
+        else:
+            # every keyword referenced the schema: list the referenced
+            # relations' top subjects by importance
+            matches = [
+                DataSubjectMatch(
+                    table=table_name,
+                    row_id=row_id,
+                    importance=self.store.importance(table_name, row_id),
+                )
+                for table_name in sorted(boosted)
+                for row_id, _row in self.db.table(table_name).scan()
+            ]
+        if boosted:
+            matches.sort(
+                key=lambda m: (
+                    m.table not in boosted,
+                    -m.importance,
+                    m.table,
+                    m.row_id,
+                )
             )
-            for p in postings
-        ]
-        matches.sort(key=lambda m: (-m.importance, m.table, m.row_id))
+        else:
+            matches.sort(key=lambda m: (-m.importance, m.table, m.row_id))
         return matches

@@ -1,0 +1,52 @@
+"""repro.storage — the real-data storage tier.
+
+Three pieces turn the RAM-resident reproduction into a disk-backed
+system (ROADMAP item 4):
+
+* :mod:`repro.storage.sqlio` + :mod:`repro.storage.sqlite_backend` — a
+  SQLite twin of any :class:`~repro.db.database.Database` and a real SQL
+  generation backend (``QueryOptions(backend="sqlite")``) whose FK joins
+  execute as indexed statements with one honest IO billed per statement;
+* :mod:`repro.storage.dblp_loader` — ``repro load-dblp``: a streaming
+  parser for the public DBLP XML dump into the paper's schema;
+* :mod:`repro.storage.bufferpool` — a page-granular LRU pool over the
+  PR 4 mmap CSR arenas with pin/unpin and hit/miss/eviction counters,
+  plus the page-ordered frontier traversal hook in
+  :func:`~repro.core.generation.generate_os_flat`.
+
+Importing this package registers the ``sqlite`` backend; the top-level
+``repro`` package imports it so ``--backend sqlite`` is always a valid
+CLI choice.
+"""
+
+from repro.storage.bufferpool import (
+    DEFAULT_PAGE_BYTES,
+    BufferPool,
+    PagedArray,
+    PagedDataGraph,
+    paged_data_graph,
+)
+from repro.storage.dblp_loader import LoadReport, load_dblp_xml, write_dblp_xml
+from repro.storage.sqlio import (
+    export_database,
+    import_database,
+    dataset_kind,
+    open_dataset,
+)
+from repro.storage.sqlite_backend import SQLiteBackend  # registers "sqlite"
+
+__all__ = [
+    "BufferPool",
+    "PagedArray",
+    "PagedDataGraph",
+    "paged_data_graph",
+    "DEFAULT_PAGE_BYTES",
+    "LoadReport",
+    "load_dblp_xml",
+    "write_dblp_xml",
+    "export_database",
+    "import_database",
+    "dataset_kind",
+    "open_dataset",
+    "SQLiteBackend",
+]

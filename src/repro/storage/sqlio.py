@@ -1,0 +1,415 @@
+"""Round-trip any in-memory :class:`~repro.db.database.Database` to/from SQLite.
+
+The file layout is deliberately boring SQL:
+
+* one SQLite table per relational table, with an explicit
+  ``repro_row_id INTEGER PRIMARY KEY`` column pinning each tuple's slot
+  position (row ids are load-bearing identity for every derived
+  structure — CSR offsets, importance arrays, snapshot arenas — so they
+  must survive the round trip bit-for-bit, tombstone gaps included);
+* a ``repro_meta`` key/value table holding the schema catalog as JSON
+  (column types, nullability, text-searchable flags, PKs, FKs), the
+  dataset kind, and a format version;
+* an index on every FK column and a unique index on every declared PK,
+  so the :class:`~repro.storage.sqlite_backend.SQLiteBackend`'s join
+  statements run indexed.
+
+:func:`open_dataset` re-wraps an imported database in its dataset
+family's wrapper (``dblp``/``tpch``) so :class:`~repro.core.builder.
+EngineBuilder.from_dataset` gets the paper's G_DS and importance store.
+Missing files, non-SQLite bytes, and unsupported format versions all
+raise :class:`~repro.errors.StorageError` — which the CLI maps to the
+pinned usage-error exit code 2.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.db.database import Database
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import StorageError
+
+#: Bumped on any incompatible change to the file layout.
+FORMAT_VERSION = 1
+
+_SQLITE_TYPE = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+    ColumnType.BOOL: "INTEGER",
+}
+
+_INSERT_BATCH = 2000
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def _schema_to_json(schema: TableSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "columns": [
+            {
+                "name": col.name,
+                "type": col.type.name,
+                "nullable": col.nullable,
+                "text_searchable": col.text_searchable,
+                "display": col.display,
+            }
+            for col in schema.columns
+        ],
+        "foreign_keys": [
+            {
+                "column": fk.column,
+                "ref_table": fk.ref_table,
+                "ref_column": fk.ref_column,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_json(payload: dict[str, Any]) -> TableSchema:
+    try:
+        columns = [
+            Column(
+                name=col["name"],
+                type=ColumnType[col["type"]],
+                nullable=col["nullable"],
+                text_searchable=col["text_searchable"],
+                display=col["display"],
+            )
+            for col in payload["columns"]
+        ]
+        foreign_keys = [
+            ForeignKey(fk["column"], fk["ref_table"], fk["ref_column"])
+            for fk in payload["foreign_keys"]
+        ]
+        return TableSchema(
+            name=payload["name"],
+            columns=columns,
+            primary_key=payload["primary_key"],
+            foreign_keys=foreign_keys,
+        )
+    except (KeyError, TypeError) as exc:
+        raise StorageError(f"corrupt schema catalog entry: {exc}") from exc
+
+
+def _to_sqlite_value(value: Any, column_type: ColumnType) -> Any:
+    if value is None:
+        return None
+    if column_type is ColumnType.BOOL:
+        return int(value)
+    return value
+
+
+def _from_sqlite_value(value: Any, column_type: ColumnType) -> Any:
+    if value is None:
+        return None
+    if column_type is ColumnType.BOOL:
+        return bool(value)
+    if column_type is ColumnType.FLOAT:
+        return float(value)
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Export
+# ---------------------------------------------------------------------- #
+def export_database(
+    db: Database,
+    path: "str | Path",
+    *,
+    dataset_kind: "str | None" = None,
+    overwrite: bool = True,
+) -> Path:
+    """Write *db* to a SQLite file at *path*; returns the path.
+
+    *dataset_kind* ("dblp"/"tpch") records which dataset family the
+    schema belongs to so :func:`open_dataset` can rebuild the G_DS and
+    importance store; ``None`` leaves the file loadable by
+    :func:`import_database` only.
+    """
+    path = Path(path)
+    if path.exists():
+        if not overwrite:
+            raise StorageError(f"refusing to overwrite existing file: {path}")
+        path.unlink()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(str(path))
+    try:
+        with conn:
+            conn.execute(
+                "CREATE TABLE repro_meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            catalog = [_schema_to_json(db.table(name).schema) for name in db.table_names]
+            meta = {
+                "format_version": str(FORMAT_VERSION),
+                "database_name": db.name,
+                "dataset_kind": dataset_kind or "",
+                "catalog": json.dumps(catalog),
+            }
+            conn.executemany(
+                "INSERT INTO repro_meta (key, value) VALUES (?, ?)",
+                sorted(meta.items()),
+            )
+            for name in db.table_names:
+                _export_table(conn, db, name)
+    finally:
+        conn.close()
+    return path
+
+
+def create_table_stmt(schema: TableSchema) -> str:
+    """The ``CREATE TABLE`` statement for *schema*, slot column included."""
+    col_defs = ["repro_row_id INTEGER PRIMARY KEY"]
+    for col in schema.columns:
+        null = "" if col.nullable else " NOT NULL"
+        col_defs.append(f"{_quote(col.name)} {_SQLITE_TYPE[col.type]}{null}")
+    return f"CREATE TABLE {_quote(schema.name)} ({', '.join(col_defs)})"
+
+
+def index_stmts(schema: TableSchema) -> list[str]:
+    """Unique PK index + one index per FK column (the backend's joins)."""
+    name = schema.name
+    stmts = [
+        f"CREATE UNIQUE INDEX {_quote('ux_' + name + '_pk')} "
+        f"ON {_quote(name)} ({_quote(schema.primary_key)})"
+    ]
+    for fk in schema.foreign_keys:
+        stmts.append(
+            f"CREATE INDEX {_quote('ix_' + name + '_' + fk.column)} "
+            f"ON {_quote(name)} ({_quote(fk.column)})"
+        )
+    return stmts
+
+
+def insert_stmt(schema: TableSchema) -> str:
+    placeholders = ", ".join(["?"] * (len(schema.columns) + 1))
+    return f"INSERT INTO {_quote(schema.name)} VALUES ({placeholders})"
+
+
+def _export_table(conn: sqlite3.Connection, db: Database, name: str) -> None:
+    table = db.table(name)
+    schema = table.schema
+    conn.execute(create_table_stmt(schema))
+    insert_sql = insert_stmt(schema)
+    types = [col.type for col in schema.columns]
+    batch: list[tuple[Any, ...]] = []
+    for row_id, row in table.scan():
+        batch.append(
+            (row_id, *(_to_sqlite_value(v, t) for v, t in zip(row, types)))
+        )
+        if len(batch) >= _INSERT_BATCH:
+            conn.executemany(insert_sql, batch)
+            batch.clear()
+    if batch:
+        conn.executemany(insert_sql, batch)
+    # Tombstone gaps are implicit (missing repro_row_id values); record the
+    # slot count so the importer can restore the exact slot list length.
+    conn.execute(
+        "INSERT INTO repro_meta (key, value) VALUES (?, ?)",
+        (f"slots:{name}", str(len(table))),
+    )
+    for stmt in index_stmts(schema):
+        conn.execute(stmt)
+
+
+# ---------------------------------------------------------------------- #
+# Import
+# ---------------------------------------------------------------------- #
+def _read_meta(conn: sqlite3.Connection, path: Path) -> dict[str, str]:
+    try:
+        rows = conn.execute("SELECT key, value FROM repro_meta").fetchall()
+    except sqlite3.DatabaseError as exc:
+        raise StorageError(
+            f"not a repro SQLite file (missing or unreadable repro_meta): "
+            f"{path}: {exc}"
+        ) from exc
+    return dict(rows)
+
+
+def import_database(path: "str | Path") -> Database:
+    """Load a SQLite file written by :func:`export_database`.
+
+    The returned database is slot-for-slot identical to the exported one
+    (tombstone gaps restored as ``None`` slots) and carries
+    ``sqlite_path`` so the ``sqlite`` backend can reattach the file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such SQLite file: {path}")
+    try:
+        conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error as exc:  # pragma: no cover - connect rarely fails
+        raise StorageError(f"cannot open SQLite file {path}: {exc}") from exc
+    try:
+        meta = _read_meta(conn, path)
+        version = meta.get("format_version")
+        if version != str(FORMAT_VERSION):
+            raise StorageError(
+                f"unsupported storage format version {version!r} in {path} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            catalog = json.loads(meta["catalog"])
+        except (KeyError, ValueError) as exc:
+            raise StorageError(f"corrupt schema catalog in {path}: {exc}") from exc
+        db = Database(meta.get("database_name") or path.stem)
+        for payload in catalog:
+            db.create_table(_schema_from_json(payload))
+        for payload in catalog:
+            _import_table(conn, db, payload["name"], meta, path)
+    except sqlite3.DatabaseError as exc:
+        raise StorageError(f"corrupt SQLite file {path}: {exc}") from exc
+    finally:
+        conn.close()
+    db.ensure_fk_indexes()
+    db.sqlite_path = str(path)  # type: ignore[attr-defined]
+    return db
+
+
+def _import_table(
+    conn: sqlite3.Connection,
+    db: Database,
+    name: str,
+    meta: dict[str, str],
+    path: Path,
+) -> None:
+    table = db.table(name)
+    types = [col.type for col in table.schema.columns]
+    cols = ", ".join(_quote(c.name) for c in table.schema.columns)
+    cursor = conn.execute(
+        f"SELECT repro_row_id, {cols} FROM {_quote(name)} ORDER BY repro_row_id"
+    )
+    for record in cursor:
+        row_id, values = record[0], record[1:]
+        # Restore tombstone gaps so live rows land on their original slots.
+        while len(table._rows) < row_id:
+            table._rows.append(None)
+            table._deleted += 1
+            table._mutations += 1
+        got = table.insert(
+            [_from_sqlite_value(v, t) for v, t in zip(values, types)]
+        )
+        if got != row_id:  # pragma: no cover - defensive
+            raise StorageError(
+                f"row-id drift importing {name!r} from {path}: "
+                f"expected {row_id}, landed on {got}"
+            )
+    slots = int(meta.get(f"slots:{name}", len(table)))
+    while len(table._rows) < slots:
+        table._rows.append(None)
+        table._deleted += 1
+        table._mutations += 1
+
+
+def dataset_kind(path: "str | Path") -> str:
+    """The dataset family recorded in the file ("" when none)."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such SQLite file: {path}")
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        return _read_meta(conn, path).get("dataset_kind", "")
+    finally:
+        conn.close()
+
+
+def open_dataset(path: "str | Path") -> Any:
+    """Import a SQLite file and wrap it in its dataset-family wrapper.
+
+    The wrapper supplies ``default_gds()`` and ``default_store()`` so the
+    result plugs straight into
+    :meth:`~repro.core.builder.EngineBuilder.from_dataset`.
+    """
+    path = Path(path)
+    kind = dataset_kind(path)
+    db = import_database(path)
+    if kind == "dblp":
+        from repro.datasets.dblp import DBLPConfig, DBLPDataset
+
+        return DBLPDataset(db=db, config=DBLPConfig(), family_author_ids=[])
+    if kind == "tpch":
+        from repro.datasets.tpch import TPCHConfig, TPCHDataset
+
+        return TPCHDataset(db=db, config=TPCHConfig())
+    raise StorageError(
+        f"SQLite file {path} records no known dataset kind (got {kind!r}); "
+        "re-export with dataset_kind='dblp' or 'tpch'"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Mirrors: the sqlite backend's handle on a database
+# ---------------------------------------------------------------------- #
+class SQLiteMirror:
+    """A live connection to the SQLite twin of an in-memory database.
+
+    One mirror is cached per :class:`Database`; a database imported from
+    a file reattaches that file, anything else is exported once to a
+    temporary file on first use.  A single connection is shared across
+    the session's worker threads behind a lock (SQLite serialises writes
+    anyway, and the backend is read-only)."""
+
+    def __init__(self, db: Database, path: Path) -> None:
+        self.db = db
+        self.path = path
+        #: the dataset version the file reflects; a committed mutation
+        #: bumps the database's version past it and the mirror re-exports
+        self.data_version = db.data_version
+        self.conn = sqlite3.connect(
+            f"file:{path}?mode=ro", uri=True, check_same_thread=False
+        )
+        self.lock = threading.Lock()
+        self.statements_executed = 0
+
+    def execute(self, sql: str, params: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+        with self.lock:
+            self.statements_executed += 1
+            return self.conn.execute(sql, params).fetchall()
+
+
+_MIRROR_LOCK = threading.Lock()
+
+
+def mirror_for(db: Database) -> SQLiteMirror:
+    """The cached :class:`SQLiteMirror` for *db*, creating it on demand.
+
+    A database imported from a file reattaches that file; anything else
+    (or a database mutated since its mirror was built) is exported to a
+    temporary file — the original file is never overwritten."""
+    mirror = getattr(db, "_sqlite_mirror", None)
+    if mirror is not None and mirror.data_version == db.data_version:
+        return mirror
+    with _MIRROR_LOCK:
+        mirror = getattr(db, "_sqlite_mirror", None)
+        if mirror is not None and mirror.data_version == db.data_version:
+            return mirror
+        path_str = getattr(db, "sqlite_path", None)
+        if (
+            mirror is None
+            and db.data_version == 0
+            and path_str is not None
+            and Path(path_str).exists()
+        ):
+            path = Path(path_str)
+        else:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f"repro-{db.name}-", suffix=".sqlite"
+            )
+            os.close(fd)
+            path = export_database(db, tmp_name)
+        mirror = SQLiteMirror(db, path)
+        db._sqlite_mirror = mirror  # type: ignore[attr-defined]
+        return mirror

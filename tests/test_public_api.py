@@ -22,7 +22,7 @@ class TestTopLevelImports:
     def test_version(self) -> None:
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
 
 class TestReadmeQuickstart:

@@ -724,7 +724,7 @@ class TestCacheStatsType:
             "hits", "misses", "cached_subjects", "cached_results",
             "tree_generations", "result_computations", "single_flight_waits",
             "lock_contention", "evictions", "disk_hits", "disk_misses",
-            "snapshot_stale",
+            "snapshot_stale", "pool_hits", "pool_misses", "pool_evictions",
         }
         assert all(isinstance(v, int) for v in as_dict.values())
 
